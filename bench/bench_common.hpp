@@ -1,0 +1,60 @@
+// Shared wiring for the experiment harness binaries.
+//
+// Every bench binary prints the table(s) it regenerates to stdout, honours
+// --csv / --seed / --verbose, and exits non-zero if a sanity invariant of
+// the experiment fails (so the harness doubles as an integration test).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bbng::bench {
+
+struct CommonFlags {
+  std::shared_ptr<bool> csv;
+  std::shared_ptr<bool> verbose;
+  std::shared_ptr<std::int64_t> seed;
+};
+
+inline CommonFlags add_common_flags(Cli& cli) {
+  CommonFlags flags;
+  flags.csv = cli.add_flag("csv", "emit CSV instead of ASCII tables");
+  flags.verbose = cli.add_flag("verbose", "enable info-level logging");
+  flags.seed = cli.add_int("seed", 1, "RNG seed for stochastic experiments");
+  return flags;
+}
+
+inline void apply_common_flags(const CommonFlags& flags) {
+  if (*flags.verbose) set_log_level(LogLevel::Info);
+}
+
+/// Print a section header so multi-table benches stay readable when
+/// concatenated by `for b in build/bench/*; do $b; done`.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Sanity-check helper: prints FAILED lines and flips the exit code.
+class Checker {
+ public:
+  void expect(bool ok, const std::string& what) {
+    if (ok) return;
+    failed_ = true;
+    std::cout << "CHECK FAILED: " << what << "\n";
+  }
+  [[nodiscard]] int exit_code() const {
+    std::cout << (failed_ ? "\nRESULT: CHECKS FAILED\n" : "\nRESULT: all checks passed\n");
+    return failed_ ? 1 : 0;
+  }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace bbng::bench

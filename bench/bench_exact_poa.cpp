@@ -1,0 +1,84 @@
+// Ground-truth experiment — exact price of anarchy / stability for small
+// games by full profile-space enumeration (every realization × exhaustive
+// per-player deviation check).
+//
+// This validates the PoA brackets used everywhere else: for tiny unit-budget
+// and Tree-BG instances, the exact PoA must sit inside the Table 1 bands,
+// and the Theorem 2.3 construction diameter must match the true PoS regime
+// (O(1)).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "constructions/poa.hpp"
+#include "game/enumerate.hpp"
+
+namespace bbng {
+namespace {
+
+int run(int argc, const char** argv) {
+  Cli cli("bench_exact_poa",
+          "exact PoA/PoS of small games by full enumeration (ground truth)");
+  const auto flags = bench::add_common_flags(cli);
+  cli.parse(argc, argv);
+  bench::apply_common_flags(flags);
+  bench::Checker check;
+
+  bench::banner("Exact PoA / PoS by enumeration");
+  Table table({"game", "version", "profiles", "equilibria", "OPT", "best eq", "worst eq",
+               "PoS", "PoA"});
+
+  struct Family {
+    const char* name;
+    std::vector<std::uint32_t> budgets;
+  };
+  const std::vector<Family> families{
+      {"unit n=4", {1, 1, 1, 1}},
+      {"unit n=5", {1, 1, 1, 1, 1}},
+      {"unit n=6", {1, 1, 1, 1, 1, 1}},
+      {"tree n=5 (1,1,1,1,0)", {1, 1, 1, 1, 0}},
+      {"tree n=5 (2,1,1,0,0)", {2, 1, 1, 0, 0}},
+      {"hub n=5 (3,1,0,0,0)", {3, 1, 0, 0, 0}},
+      {"rich n=4 (2,2,1,1)", {2, 2, 1, 1}},
+      {"sparse n=5 (1,1,0,0,0)", {1, 1, 0, 0, 0}},
+  };
+
+  for (const auto& family : families) {
+    const BudgetGame game(family.budgets);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const auto analysis = exhaustive_analysis(game, version, 5'000'000);
+      check.expect(analysis.equilibria > 0,
+                   cat(family.name, " ", to_string(version), " has an equilibrium"));
+      if (analysis.equilibria > 0 && game.can_connect()) {
+        // The Theorem 2.3 bracket must contain the truth.
+        const OptBounds bounds = opt_diameter_bounds(game);
+        check.expect(analysis.opt_diameter >= bounds.lower &&
+                         analysis.opt_diameter <= bounds.upper,
+                     cat(family.name, " OPT inside the construction bracket"));
+        check.expect(analysis.best_equilibrium_diameter <= bounds.upper,
+                     cat(family.name, " PoS witness within Theorem 2.3 diameter"));
+      }
+      table.new_row()
+          .add(family.name)
+          .add(to_string(version))
+          .add(analysis.profiles)
+          .add(analysis.equilibria)
+          .add(analysis.opt_diameter)
+          .add(analysis.best_equilibrium_diameter)
+          .add(analysis.worst_equilibrium_diameter)
+          .add(analysis.price_of_stability, 2)
+          .add(analysis.price_of_anarchy, 2);
+    }
+  }
+  table.print(std::cout, *flags.csv);
+
+  std::cout << "\nGround truth: Nash equilibria exist for every family (Theorem 2.3), "
+               "unit-budget PoA stays constant (Theorems 4.1/4.2), and the exact "
+               "optima always fall inside the construction-based brackets used by "
+               "the large-scale benches.\n";
+  return check.exit_code();
+}
+
+}  // namespace
+}  // namespace bbng
+
+int main(int argc, const char** argv) { return bbng::run(argc, argv); }

@@ -1,0 +1,89 @@
+// Experiment T1.d — Table 1 "All-positive budgets / MAX = Ω(√log n)",
+// Lemma 5.2 + Theorem 5.3 (the Braess-like lower bound).
+//
+// For k = 2, 3 (and optionally larger), builds the shift graph on t = 2^k
+// symbols, orients it with all outdegrees ≥ 1, and reports n = 2^{k²},
+// diameter (= k = √log n), the Lemma 5.2 condition, and an equilibrium
+// certificate: exact Nash at k=2 (n=16), swap stability at k=3 (n=512),
+// sampled-eccentricity structure check beyond.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "constructions/shift_graph.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/distances.hpp"
+
+namespace bbng {
+namespace {
+
+int run(int argc, const char** argv) {
+  Cli cli("bench_shift_graph",
+          "Table 1 (all-positive budgets, MAX): shift-graph equilibria with diameter √log n");
+  const auto flags = bench::add_common_flags(cli);
+  const auto max_k = cli.add_int("max-k", 3, "largest k (n = 2^{k^2}; k=4 needs ~1 GiB/min)");
+  cli.parse(argc, argv);
+  bench::apply_common_flags(flags);
+  bench::Checker check;
+
+  bench::banner("Theorem 5.3 — shift graphs with t = 2^k: diameter = k = √(log2 n)");
+  Table table({"k", "t", "n", "min_deg", "max_deg", "diameter", "sqrt(log2 n)", "condition",
+               "certificate"});
+  for (std::int64_t k = 2; k <= *max_k; ++k) {
+    const std::uint32_t t = theorem53_alphabet(static_cast<std::uint32_t>(k));
+    const bool condition = shift_graph_condition(t, static_cast<std::uint32_t>(k));
+    check.expect(condition, cat("Lemma 5.2 condition holds for t=2^k, k=", k));
+
+    const UGraph u = shift_graph(t, static_cast<std::uint32_t>(k));
+    const std::uint32_t n = u.num_vertices();
+    std::uint32_t diam;
+    if (n <= 4096) {
+      diam = diameter(u);
+    } else {
+      Rng rng(static_cast<std::uint64_t>(*flags.seed));
+      diam = diameter_lower_bound(u, 8, rng);  // certified lower bound
+    }
+    check.expect(diam == static_cast<std::uint32_t>(k), cat("shift graph k=", k, " diameter"));
+    check.expect(u.min_degree() >= 2, cat("min degree ≥ 2 at k=", k));
+
+    const Digraph g = shift_graph_realization(t, static_cast<std::uint32_t>(k));
+    std::string certificate;
+    if (n <= 16) {
+      const bool stable = verify_equilibrium(g, CostVersion::Max, 30'000'000).stable;
+      check.expect(stable, cat("k=", k, " exact MAX Nash"));
+      certificate = stable ? "exact-NE" : "NOT-NE";
+    } else if (n <= 512) {
+      const bool swap_ok = verify_swap_equilibrium(g, CostVersion::Max).stable;
+      check.expect(swap_ok, cat("k=", k, " swap-stable"));
+      certificate = swap_ok ? "swap-stable" : "NOT-swap-stable";
+    } else {
+      // Lemma 5.1 certificate: Δ^d − 1 < n(Δ−1) with every local diameter k
+      // implies no strategy change can reduce any player's local diameter.
+      const bool cert = expansion_condition(u.max_degree(), static_cast<std::uint64_t>(k), n);
+      check.expect(cert, cat("k=", k, " Lemma 5.1 expansion certificate"));
+      certificate = cert ? "lemma5.1-cert" : "NO-cert";
+    }
+
+    table.new_row()
+        .add(k)
+        .add(t)
+        .add(n)
+        .add(u.min_degree())
+        .add(u.max_degree())
+        .add(diam)
+        .add(std::sqrt(std::log2(static_cast<double>(n))), 2)
+        .add(condition ? "holds" : "fails")
+        .add(certificate);
+  }
+  table.print(std::cout, *flags.csv);
+
+  std::cout << "\nPaper claim (Section 5, Braess-like): although every player has a "
+               "positive budget, MAX equilibria with diameter √(log n) exist — larger "
+               "than the O(1) of all-unit budgets.\n";
+  return check.exit_code();
+}
+
+}  // namespace
+}  // namespace bbng
+
+int main(int argc, const char** argv) { return bbng::run(argc, argv); }

@@ -1,0 +1,58 @@
+// Network robustness audit (Theorem 7.2): if every participant can afford at
+// least k links, any SUM equilibrium is k-connected or already has diameter
+// < 4 — so a planner can guarantee fault tolerance by mandating minimum
+// budgets. This example audits equilibria for k = 1..4 and reports how many
+// vertex failures each network provably survives.
+#include <iostream>
+
+#include "game/dynamics.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace bbng;
+  Cli cli("connectivity_audit", "minimum budgets buy provable fault tolerance (Thm 7.2)");
+  const auto n_flag = cli.add_int("n", 18, "number of players");
+  const auto seed = cli.add_int("seed", 5, "RNG seed");
+  const auto csv = cli.add_flag("csv", "CSV output");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  Table table({"min budget k", "converged", "diameter", "vertex connectivity",
+               "survives failures", "Thm 7.2 holds"});
+
+  for (const std::uint32_t k : {1U, 2U, 3U, 4U}) {
+    Rng rng(static_cast<std::uint64_t>(*seed) + k);
+    const std::vector<std::uint32_t> budgets(n, k);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 300;
+    config.exact_limit = 50'000;
+    const DynamicsResult result =
+        run_best_response_dynamics(random_profile(budgets, rng), config);
+    if (!result.converged) {
+      table.new_row().add(k).add("no").add("-").add("-").add("-").add("n/a");
+      continue;
+    }
+    const UGraph u = result.graph.underlying();
+    const std::uint32_t diam = diameter(u);
+    const std::uint32_t kappa = vertex_connectivity(u);
+    const bool holds = kappa >= k || diam < 4;
+    table.new_row()
+        .add(k)
+        .add("yes")
+        .add(diam)
+        .add(kappa)
+        .add(kappa == 0 ? 0U : kappa - 1)
+        .add(holds ? "yes" : "NO");
+  }
+
+  table.print(std::cout, *csv);
+  std::cout << "\nMandating a minimum budget of k per participant guarantees the "
+               "equilibrium overlay is k-connected (or already diameter < 4): "
+               "the operator can size budgets to the required fault tolerance.\n";
+  return 0;
+}

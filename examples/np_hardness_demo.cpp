@@ -1,0 +1,77 @@
+// Theorem 2.1 as a tool: because best response ⊇ k-center/k-median, the
+// library's exact best-response solver doubles as an exact facility-location
+// solver. This example places k service replicas on a random network three
+// ways — exact via the game reduction, exact directly, and with the classic
+// heuristics — and compares answers and work performed.
+#include <iostream>
+
+#include "facility/kmedian.hpp"
+#include "facility/reduction.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace bbng;
+  Cli cli("np_hardness_demo", "facility location through the Theorem 2.1 reduction");
+  const auto n_flag = cli.add_int("n", 16, "network size");
+  const auto k_flag = cli.add_int("k", 3, "number of replicas");
+  const auto seed = cli.add_int("seed", 21, "RNG seed");
+  const auto csv = cli.add_flag("csv", "CSV output");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  const auto k = static_cast<std::uint32_t>(*k_flag);
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  const UGraph network = connected_erdos_renyi(n, 0.18, rng);
+  std::cout << "Random network: n = " << n << ", m = " << network.num_edges()
+            << ", placing k = " << k << " replicas\n";
+
+  Table table({"method", "objective", "worst|total latency", "candidates scored", "us"});
+
+  {
+    Timer timer;
+    const FacilitySolution sol = solve_facility_via_best_response(network, k, CostVersion::Max);
+    table.new_row().add("game reduction (MAX)").add("k-center").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+  {
+    Timer timer;
+    const FacilitySolution sol = exact_kcenter(network, k);
+    table.new_row().add("direct exact").add("k-center").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+  {
+    Timer timer;
+    Rng greedy_rng(static_cast<std::uint64_t>(*seed));
+    const FacilitySolution sol = greedy_kcenter(network, k, greedy_rng);
+    table.new_row().add("Gonzalez 2-approx").add("k-center").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+  {
+    Timer timer;
+    const FacilitySolution sol = solve_facility_via_best_response(network, k, CostVersion::Sum);
+    table.new_row().add("game reduction (SUM)").add("k-median").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+  {
+    Timer timer;
+    const FacilitySolution sol = exact_kmedian(network, k);
+    table.new_row().add("direct exact").add("k-median").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+  {
+    Timer timer;
+    Rng ls_rng(static_cast<std::uint64_t>(*seed));
+    const FacilitySolution sol = local_search_kmedian(network, k, ls_rng);
+    table.new_row().add("local search").add("k-median").add(sol.objective)
+        .add(sol.evaluated).add(timer.elapsed_micros());
+  }
+
+  table.print(std::cout, *csv);
+  std::cout << "\nThe reduction rows match the direct exact rows — computing a best "
+               "response in a bounded budget game is exactly as hard as facility "
+               "location (Theorem 2.1).\n";
+  return 0;
+}

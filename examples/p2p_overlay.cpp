@@ -1,0 +1,100 @@
+// Peer-to-peer overlay formation — the motivating application of the
+// introduction (and of Laoutaris et al.): peers with heterogeneous
+// connection budgets (think NAT'd home nodes vs well-provisioned relays)
+// selfishly rewire to minimise latency. This example simulates churn:
+// the overlay converges, peers join and leave, and the network re-converges,
+// while we track diameter, average distance, and connectivity round by round.
+#include <iostream>
+
+#include "game/cost.hpp"
+#include "game/dynamics.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Budgets for a fleet: a few relays with big budgets, many leaves with 1-2.
+std::vector<std::uint32_t> fleet_budgets(std::uint32_t n, bbng::Rng& rng) {
+  std::vector<std::uint32_t> budgets(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double roll = rng.next_double();
+    if (roll < 0.1) {
+      budgets[i] = 5 + static_cast<std::uint32_t>(rng.next_below(4));  // relay
+    } else if (roll < 0.5) {
+      budgets[i] = 2;  // normal peer
+    } else {
+      budgets[i] = 1;  // constrained peer
+    }
+  }
+  return budgets;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  using namespace bbng;
+  Cli cli("p2p_overlay", "selfish overlay construction under churn");
+  const auto n_flag = cli.add_int("n", 40, "fleet size");
+  const auto epochs = cli.add_int("epochs", 4, "churn epochs");
+  const auto seed = cli.add_int("seed", 11, "RNG seed");
+  const auto csv = cli.add_flag("csv", "CSV output");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  auto budgets = fleet_budgets(n, rng);
+  Digraph overlay = random_profile(budgets, rng);
+
+  Table table({"epoch", "event", "converged", "rounds", "diameter", "avg distance",
+               "connected"});
+
+  for (std::int64_t epoch = 0; epoch < *epochs; ++epoch) {
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;  // peers minimise total latency
+    config.schedule = Schedule::RandomPermutation;
+    config.max_rounds = 300;
+    config.exact_limit = 100'000;
+    config.seed = static_cast<std::uint64_t>(*seed + epoch);
+    const DynamicsResult result = run_best_response_dynamics(overlay, config);
+    overlay = result.graph;
+
+    const UGraph u = overlay.underlying();
+    const auto avg = average_distance(u);
+    table.new_row()
+        .add(epoch)
+        .add(epoch == 0 ? "bootstrap" : "after churn")
+        .add(result.converged ? "yes" : "no")
+        .add(result.rounds)
+        .add(diameter(u) == kUnreachable ? std::string("inf") : std::to_string(diameter(u)))
+        .add(avg ? *avg : -1.0, 2)
+        .add(is_connected(u) ? "yes" : "no");
+
+    // Churn: a random constrained peer is reset (leaves and rejoins with a
+    // fresh random strategy), and one peer gets a budget upgrade.
+    const auto reset_peer = static_cast<Vertex>(rng.next_below(n));
+    auto fresh = rng.sample(n - 1, budgets[reset_peer]);
+    std::vector<Vertex> heads;
+    for (const auto p : fresh) heads.push_back(p >= reset_peer ? p + 1 : p);
+    overlay.set_strategy(reset_peer, heads);
+
+    const auto lucky = static_cast<Vertex>(rng.next_below(n));
+    if (budgets[lucky] + 1 < n) {
+      // The upgraded peer immediately uses the extra budget on a random link.
+      for (Vertex target = 0; target < n; ++target) {
+        if (target != lucky && !overlay.has_arc(lucky, target)) {
+          overlay.add_arc(lucky, target);
+          ++budgets[lucky];
+          break;
+        }
+      }
+    }
+  }
+
+  table.print(std::cout, *csv);
+  std::cout << "\nSelfish rewiring keeps the overlay connected with a small diameter "
+               "after every churn event (Lemma 3.1 + Theorem 6.9 in action).\n";
+  return 0;
+}

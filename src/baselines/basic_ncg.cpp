@@ -1,0 +1,74 @@
+#include "baselines/basic_ncg.hpp"
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+
+namespace bbng {
+
+std::uint64_t basic_cost(const UGraph& g, Vertex u, CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(u < n);
+  BfsRunner runner(n);
+  runner.run(g, u);
+  const std::uint64_t inf = cinf(n);
+  if (version == CostVersion::Sum) {
+    const std::uint64_t missing = n - runner.reached();
+    return runner.sum_dist() + missing * inf;
+  }
+  return runner.reached() == n ? runner.max_dist() : inf;
+}
+
+std::optional<BasicSwap> find_improving_basic_swap(const UGraph& g, Vertex u,
+                                                   CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint64_t base = basic_cost(g, u, version);
+  // Copy: the neighbour span would dangle across mutations.
+  const std::vector<Vertex> neighbors(g.neighbors(u).begin(), g.neighbors(u).end());
+  UGraph trial = g;
+  for (const Vertex drop : neighbors) {
+    trial.remove_edge(u, drop);
+    for (Vertex add = 0; add < n; ++add) {
+      if (add == u || trial.has_edge(u, add)) continue;
+      trial.add_edge(u, add);
+      const std::uint64_t cost = basic_cost(trial, u, version);
+      trial.remove_edge(u, add);
+      if (cost < base) {
+        return BasicSwap{drop, add};
+      }
+    }
+    trial.add_edge(u, drop);
+  }
+  return std::nullopt;
+}
+
+bool is_basic_swap_equilibrium(const UGraph& g, CostVersion version) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (find_improving_basic_swap(g, u, version).has_value()) return false;
+  }
+  return true;
+}
+
+BasicDynamicsResult run_basic_swap_dynamics(const UGraph& initial, CostVersion version,
+                                            std::uint64_t max_rounds) {
+  BasicDynamicsResult result;
+  result.graph = initial;
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    bool any_move = false;
+    for (Vertex u = 0; u < result.graph.num_vertices(); ++u) {
+      const auto swap = find_improving_basic_swap(result.graph, u, version);
+      if (!swap) continue;
+      result.graph.remove_edge(u, swap->drop);
+      result.graph.add_edge(u, swap->add);
+      ++result.moves;
+      any_move = true;
+    }
+    result.rounds = round + 1;
+    if (!any_move) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace bbng

@@ -1,0 +1,52 @@
+// Baseline 2 — the Basic Network Creation Game of Alon, Demaine, Hajiaghayi
+// & Leighton (SPAA 2010), the model this paper borrows its α-free design
+// from (Section 1.1).
+//
+// Here the graph is undirected with NO link ownership: a *swap* replaces one
+// endpoint of any edge incident to the moving vertex (the vertex keeps its
+// degree but needs to own nothing). A graph is a swap equilibrium if no
+// vertex can lower its cost (sum or max of distances) by swapping one
+// incident edge. The paper contrasts tree equilibria: in the basic game, MAX
+// tree swap-equilibria have diameter ≤ 3, while the bounded-budget game has
+// tree equilibria of diameter Θ(n) (the spider) — ownership is what makes
+// the difference. bench_tree_max reports both sides.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "game/game.hpp"  // CostVersion
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+/// Cost of vertex u in the basic game (sum or max of distances; the basic
+/// game is defined on connected graphs — disconnected pairs charge n²).
+[[nodiscard]] std::uint64_t basic_cost(const UGraph& g, Vertex u, CostVersion version);
+
+/// One improving swap for u: replace edge {u, drop} with {u, add}, if any
+/// strictly lowers u's cost. Deterministic first-improvement scan.
+struct BasicSwap {
+  Vertex drop = 0;
+  Vertex add = 0;
+};
+[[nodiscard]] std::optional<BasicSwap> find_improving_basic_swap(const UGraph& g, Vertex u,
+                                                                 CostVersion version);
+
+/// Swap equilibrium check (every vertex, every incident edge, every target).
+[[nodiscard]] bool is_basic_swap_equilibrium(const UGraph& g, CostVersion version);
+
+struct BasicDynamicsResult {
+  UGraph graph{1};
+  bool converged = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t moves = 0;
+};
+
+/// Round-robin first-improvement swap dynamics for the basic game.
+[[nodiscard]] BasicDynamicsResult run_basic_swap_dynamics(const UGraph& initial,
+                                                          CostVersion version,
+                                                          std::uint64_t max_rounds = 1000);
+
+}  // namespace bbng

@@ -1,0 +1,106 @@
+#include "baselines/bbc.hpp"
+
+#include <unordered_set>
+
+#include "game/game.hpp"  // cinf
+#include "graph/bfs.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+
+std::vector<std::uint32_t> directed_distances(const Digraph& g, Vertex source) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(source < n);
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const Vertex u = queue[qi];
+    for (const Vertex v : g.out_neighbors(u)) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+std::uint64_t bbc_cost(const Digraph& g, Vertex u) {
+  const std::uint32_t n = g.num_vertices();
+  const auto dist = directed_distances(g, u);
+  const std::uint64_t inf = cinf(n);
+  std::uint64_t cost = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == u) continue;
+    cost += dist[v] == kUnreachable ? inf : dist[v];
+  }
+  return cost;
+}
+
+BbcBestResponse bbc_best_response(const Digraph& g, Vertex u, std::uint64_t limit) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(u);
+  BBNG_REQUIRE_MSG(binomial(n - 1, b) <= limit, "BBC candidate space over limit");
+
+  BbcBestResponse best;
+  best.current_cost = bbc_cost(g, u);
+  best.cost = ~0ULL;
+
+  Digraph trial = g;
+  std::vector<Vertex> heads(b);
+  for (CombinationIterator it(n - 1, b); it.valid(); it.advance()) {
+    const auto subset = it.current();
+    for (std::uint32_t i = 0; i < b; ++i) {
+      heads[i] = subset[i] >= u ? subset[i] + 1 : subset[i];
+    }
+    trial.set_strategy(u, heads);
+    const std::uint64_t cost = bbc_cost(trial, u);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.strategy = heads;
+    }
+  }
+  return best;
+}
+
+bool bbc_is_equilibrium(const Digraph& g, std::uint64_t limit) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (g.out_degree(u) == 0) continue;
+    if (bbc_best_response(g, u, limit).improves()) return false;
+  }
+  return true;
+}
+
+BbcDynamicsResult run_bbc_dynamics(const Digraph& initial, std::uint64_t max_rounds,
+                                   std::uint64_t limit) {
+  BbcDynamicsResult result;
+  result.graph = initial;
+  std::unordered_set<std::uint64_t> seen{result.graph.hash()};
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    bool any_move = false;
+    for (Vertex u = 0; u < result.graph.num_vertices(); ++u) {
+      if (result.graph.out_degree(u) == 0) continue;
+      const BbcBestResponse br = bbc_best_response(result.graph, u, limit);
+      if (!br.improves()) continue;
+      result.graph.set_strategy(u, br.strategy);
+      ++result.moves;
+      any_move = true;
+      if (!seen.insert(result.graph.hash()).second) {
+        result.cycle_detected = true;
+        result.rounds = round + 1;
+        return result;
+      }
+    }
+    result.rounds = round + 1;
+    if (!any_move) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace bbng

@@ -1,0 +1,55 @@
+// Baseline 1 — the Bounded Budget Connection (BBC) game of Laoutaris,
+// Poplawski, Rajaraman, Sundaram & Teng (PODC 2008), the model this paper is
+// "mainly motivated by" (Section 1.1).
+//
+// Differences from the paper's game: links are DIRECTED and usable only by
+// their owner, so player u's cost is the sum of *directed* shortest-path
+// distances from u to every other node (unreachable ⇒ Cinf = n²). Laoutaris
+// et al. showed best-response dynamics need not converge in this model (they
+// construct an explicit loop), whereas no cycle has been observed in the
+// undirected model — bench_convergence contrasts the two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+/// Directed distances from `source` following arc directions only.
+[[nodiscard]] std::vector<std::uint32_t> directed_distances(const Digraph& g, Vertex source);
+
+/// BBC cost of player u: Σ_v directed-dist(u,v), Cinf = n² per unreachable.
+[[nodiscard]] std::uint64_t bbc_cost(const Digraph& g, Vertex u);
+
+/// Exact BBC best response of player u (enumerates C(n-1, b) strategies).
+/// Throws when the candidate space exceeds `limit`.
+struct BbcBestResponse {
+  std::vector<Vertex> strategy;
+  std::uint64_t cost = 0;
+  std::uint64_t current_cost = 0;
+  [[nodiscard]] bool improves() const noexcept { return cost < current_cost; }
+};
+[[nodiscard]] BbcBestResponse bbc_best_response(const Digraph& g, Vertex u,
+                                                std::uint64_t limit = 2'000'000);
+
+/// True iff no player can lower its BBC cost.
+[[nodiscard]] bool bbc_is_equilibrium(const Digraph& g, std::uint64_t limit = 2'000'000);
+
+struct BbcDynamicsResult {
+  Digraph graph{1};
+  bool converged = false;
+  bool cycle_detected = false;  ///< a state recurred — possible in BBC!
+  std::uint64_t rounds = 0;
+  std::uint64_t moves = 0;
+};
+
+/// Round-robin exact best-response dynamics for the BBC baseline.
+[[nodiscard]] BbcDynamicsResult run_bbc_dynamics(const Digraph& initial,
+                                                 std::uint64_t max_rounds = 500,
+                                                 std::uint64_t limit = 2'000'000);
+
+}  // namespace bbng

@@ -1,0 +1,19 @@
+#include "constructions/binary_tree.hpp"
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Digraph perfect_binary_tree(std::uint32_t k) {
+  BBNG_REQUIRE_MSG(k < 30, "tree height too large");
+  const std::uint32_t n = perfect_binary_tree_size(k);
+  Digraph g(n);
+  for (Vertex i = 0; 2 * i + 2 < n; ++i) {
+    g.add_arc(i, 2 * i + 1);
+    g.add_arc(i, 2 * i + 2);
+  }
+  BBNG_ASSERT(g.num_arcs() == n - 1);
+  return g;
+}
+
+}  // namespace bbng

@@ -1,0 +1,24 @@
+// Theorem 3.4: the perfect binary tree — a Tree-BG equilibrium in the SUM
+// version with diameter 2k = Θ(log n), matching the O(log n) upper bound of
+// Theorem 3.3.
+//
+// n = 2^{k+1} − 1 vertices; internal vertex i owns arcs to its two children,
+// leaves have budget 0.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace bbng {
+
+/// Build the perfect binary tree of height k ≥ 0 (n = 2^{k+1} − 1). Vertex 0
+/// is the root; vertex i has children 2i+1 and 2i+2.
+[[nodiscard]] Digraph perfect_binary_tree(std::uint32_t k);
+
+/// Number of vertices of the height-k perfect binary tree.
+[[nodiscard]] constexpr std::uint32_t perfect_binary_tree_size(std::uint32_t k) noexcept {
+  return (1U << (k + 1)) - 1;
+}
+
+}  // namespace bbng

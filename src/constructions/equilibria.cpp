@@ -1,0 +1,194 @@
+#include "constructions/equilibria.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "graph/ugraph.hpp"
+#include "util/assert.hpp"
+
+namespace bbng {
+namespace {
+
+/// Indices 0..n-1 sorted by budget (ascending, stable).
+std::vector<Vertex> sorted_order(const std::vector<std::uint32_t>& budgets) {
+  std::vector<Vertex> order(budgets.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&budgets](Vertex a, Vertex b) { return budgets[a] < budgets[b]; });
+  return order;
+}
+
+/// Fill u's outdegree up to its budget with arbitrary fresh targets.
+void top_up(Digraph& g, Vertex u, std::uint32_t budget) {
+  Vertex t = 0;
+  while (g.out_degree(u) < budget) {
+    BBNG_ASSERT(t < g.num_vertices());
+    if (t != u && !g.has_arc(u, t)) g.add_arc(u, t);
+    ++t;
+  }
+}
+
+/// Case 1 brace repair: while some brace {u,v} has locdiam(u) == 2 and a
+/// non-neighbour w of u exists, replace u→v with u→w (decreases the brace
+/// count, so terminates).
+void fix_braces(Digraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  BfsRunner runner(n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const UGraph u_graph = g.underlying();
+    for (Vertex u = 0; u < n && !changed; ++u) {
+      if (!g.in_brace(u)) continue;
+      runner.run(u_graph, u);
+      if (runner.reached() != n || runner.max_dist() != 2) continue;
+      // Find a brace partner and a non-neighbour.
+      Vertex partner = kUnreachable;
+      for (const Vertex v : g.out_neighbors(u)) {
+        if (g.has_arc(v, u)) {
+          partner = v;
+          break;
+        }
+      }
+      if (partner == kUnreachable) continue;
+      for (Vertex w = 0; w < n; ++w) {
+        if (w == u || u_graph.has_edge(u, w)) continue;
+        g.remove_arc(u, partner);
+        g.add_arc(u, w);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Case 1 (σ ≥ n−1, b_max ≥ z), in sorted space: hub vn = n−1.
+Digraph build_case1(const std::vector<std::uint32_t>& sb) {
+  const auto n = static_cast<std::uint32_t>(sb.size());
+  Digraph g(n);
+  if (n == 1) return g;
+  const std::uint32_t bn = sb[n - 1];
+  for (Vertex v = 0; v < bn; ++v) g.add_arc(n - 1, v);
+  for (Vertex j = bn; j + 1 < n; ++j) g.add_arc(j, n - 1);
+  for (Vertex u = 0; u + 1 < n; ++u) top_up(g, u, sb[u]);
+  fix_braces(g);
+  return g;
+}
+
+/// Case 2 (σ ≥ n−1, b_max < z), in sorted space: four-phase construction.
+Digraph build_case2(const std::vector<std::uint32_t>& sb, std::uint32_t z) {
+  const auto n = static_cast<std::uint32_t>(sb.size());
+  const std::uint32_t bn = sb[n - 1];
+  BBNG_ASSERT(bn < z && n >= 2);
+
+  // T = largest 0-based index with Σ_{i=T}^{n-1} sb[i] ≥ z + n − 1 − T
+  // (scan downward; the first satisfying index is the largest).
+  std::uint32_t T = n - 1;
+  std::uint64_t suffix = 0;
+  for (std::uint32_t i = n; i-- > 0;) {
+    suffix += sb[i];
+    if (suffix >= static_cast<std::uint64_t>(z) + n - 1 - i) {
+      T = i;
+      break;
+    }
+  }
+  BBNG_ASSERT(T > z - 1 && T < n - 1);  // the paper's z < t < n
+
+  Digraph g(n);
+  // Phase 1: every vertex of B ∪ C points at vn.
+  for (Vertex u = z; u + 1 < n; ++u) g.add_arc(u, n - 1);
+
+  // Phase 2: {vn} ∪ C ∪ {vT} cover A = {0..z-1}.
+  Vertex cursor = 0;
+  for (Vertex a = 0; a < bn; ++a) g.add_arc(n - 1, cursor++);
+  for (Vertex j = n - 2; j > T; --j) {
+    for (std::uint32_t c = 0; c + 1 < sb[j]; ++c) g.add_arc(j, cursor++);
+  }
+  BBNG_ASSERT(cursor <= z);
+  while (cursor < z) g.add_arc(T, cursor++);  // the s arcs of vt
+
+  // Phase 3: B tops up toward C ∪ {vT} in reverse order (vn−1, vn−2, …, vT).
+  for (Vertex u = z; u <= T; ++u) {
+    for (Vertex target = n - 1; target-- > T && g.out_degree(u) < sb[u];) {
+      if (target != u && !g.has_arc(u, target)) g.add_arc(u, target);
+    }
+  }
+
+  // Phase 4: B tops up toward A in order.
+  for (Vertex u = z; u <= T; ++u) {
+    for (Vertex a = 0; g.out_degree(u) < sb[u]; ++a) {
+      BBNG_ASSERT(a < z);
+      if (!g.has_arc(u, a)) g.add_arc(u, a);
+    }
+  }
+  return g;
+}
+
+/// Dispatch on sorted budgets; emits arcs in sorted space.
+Digraph build_sorted(const std::vector<std::uint32_t>& sb) {
+  const auto n = static_cast<std::uint32_t>(sb.size());
+  if (n == 1) return Digraph(1);
+  const std::uint64_t sigma = std::accumulate(sb.begin(), sb.end(), std::uint64_t{0});
+  const auto z = static_cast<std::uint32_t>(
+      std::count(sb.begin(), sb.end(), 0U));
+
+  if (sigma + 1 >= n) {
+    if (sb[n - 1] >= z) return build_case1(sb);
+    return build_case2(sb, z);
+  }
+
+  // Case 3: M = smallest index with Σ_{i=M}^{n-1} sb[i] ≥ n − 1 − M. The
+  // suffix game has total budget exactly its size − 1; recurse (depth 1).
+  std::uint32_t M = n - 1;
+  std::uint64_t suffix = 0;
+  for (std::uint32_t i = n; i-- > 0;) {
+    suffix += sb[i];
+    if (suffix >= static_cast<std::uint64_t>(n) - 1 - i) M = i;
+  }
+  const std::vector<std::uint32_t> sub(sb.begin() + M, sb.end());
+  const Digraph sub_graph = build_sorted(sub);
+  Digraph g(n);
+  for (Vertex u = 0; u < sub_graph.num_vertices(); ++u) {
+    for (const Vertex v : sub_graph.out_neighbors(u)) g.add_arc(M + u, M + v);
+  }
+  return g;
+}
+
+}  // namespace
+
+EquilibriumCase classify_construction(const BudgetGame& game) {
+  if (!game.can_connect()) return EquilibriumCase::DisconnectedCase3;
+  if (game.num_players() == 1) return EquilibriumCase::HubCase1;  // trivially stable
+  const auto& budgets = game.budgets();
+  const std::uint32_t b_max = *std::max_element(budgets.begin(), budgets.end());
+  return b_max >= game.zero_budget_players() ? EquilibriumCase::HubCase1
+                                             : EquilibriumCase::FourPhaseCase2;
+}
+
+Digraph construct_equilibrium(const BudgetGame& game) {
+  const auto& budgets = game.budgets();
+  const auto n = game.num_players();
+  const std::vector<Vertex> order = sorted_order(budgets);
+  std::vector<std::uint32_t> sb(n);
+  for (std::uint32_t i = 0; i < n; ++i) sb[i] = budgets[order[i]];
+
+  const Digraph sorted_graph = build_sorted(sb);
+
+  Digraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : sorted_graph.out_neighbors(u)) g.add_arc(order[u], order[v]);
+  }
+  game.require_realization(g);
+  return g;
+}
+
+std::vector<std::uint32_t> figure1_budgets() {
+  // 16 zero-budget players, one with 2, five with 5 (n = 22, z = 16, t = 19).
+  std::vector<std::uint32_t> budgets(16, 0);
+  budgets.push_back(2);
+  budgets.insert(budgets.end(), 5, 5);
+  return budgets;
+}
+
+}  // namespace bbng

@@ -1,0 +1,34 @@
+// Theorem 2.3: explicit Nash equilibria for every budget vector, in both
+// versions simultaneously — the paper's existence + price-of-stability proof.
+//
+// Three cases (after sorting budgets non-decreasingly; this implementation
+// accepts any order and relabels):
+//   Case 1  σ ≥ n−1, b_max ≥ z : hub construction, diameter ≤ 2 before
+//           top-up arcs; brace-fixing keeps everyone Lemma 2.2-certified.
+//   Case 2  σ ≥ n−1, b_max < z : the four-phase construction of Figure 1
+//           (the n=22, z=16, t=19 example is exposed as figure1_budgets()).
+//   Case 3  σ < n−1 : the suffix that can afford a tree (Σ_{m..n} b = n−m)
+//           plays a Case-1/2 equilibrium among itself; the rest is isolated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+
+namespace bbng {
+
+/// Which branch of the Theorem 2.3 proof applies to a budget vector.
+enum class EquilibriumCase { HubCase1, FourPhaseCase2, DisconnectedCase3 };
+
+[[nodiscard]] EquilibriumCase classify_construction(const BudgetGame& game);
+
+/// Build the Theorem 2.3 equilibrium. The result is a realization of `game`
+/// and a Nash equilibrium in BOTH the SUM and MAX versions.
+[[nodiscard]] Digraph construct_equilibrium(const BudgetGame& game);
+
+/// The budget vector of the paper's Figure 1 (n = 22, z = 16, t = 19).
+[[nodiscard]] std::vector<std::uint32_t> figure1_budgets();
+
+}  // namespace bbng

@@ -1,0 +1,43 @@
+#include "constructions/poa.hpp"
+
+#include "constructions/equilibria.hpp"
+#include "game/cost.hpp"
+#include "graph/distances.hpp"
+
+namespace bbng {
+
+OptBounds opt_diameter_bounds(const BudgetGame& game, ThreadPool* pool) {
+  const std::uint32_t n = game.num_players();
+  OptBounds bounds;
+  if (!game.can_connect()) {
+    // Every realization is disconnected: the diameter is n² by convention.
+    bounds.lower = cinf(n);
+    bounds.upper = cinf(n);
+    return bounds;
+  }
+  if (n == 1) return {0, 0};
+
+  // Lower bound: a realization can only be complete (diameter 1) if the
+  // total budget covers all C(n,2) pairs.
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  bounds.lower = game.total_budget() >= pairs ? 1 : 2;
+
+  const Digraph witness = construct_equilibrium(game);
+  bounds.upper = social_cost(witness.underlying(), pool);
+  BBNG_ASSERT(bounds.lower <= bounds.upper);
+  return bounds;
+}
+
+PoaEstimate poa_estimate(const BudgetGame& game, const Digraph& equilibrium, ThreadPool* pool) {
+  game.require_realization(equilibrium);
+  PoaEstimate estimate;
+  estimate.equilibrium_diameter = social_cost(equilibrium.underlying(), pool);
+  estimate.opt = opt_diameter_bounds(game, pool);
+  estimate.ratio_lower = static_cast<double>(estimate.equilibrium_diameter) /
+                         static_cast<double>(estimate.opt.upper == 0 ? 1 : estimate.opt.upper);
+  estimate.ratio_upper = static_cast<double>(estimate.equilibrium_diameter) /
+                         static_cast<double>(estimate.opt.lower == 0 ? 1 : estimate.opt.lower);
+  return estimate;
+}
+
+}  // namespace bbng

@@ -1,0 +1,39 @@
+// Price of anarchy / stability bookkeeping.
+//
+// Both ratios share the denominator min_G diam(G) over all realizations.
+// Enumerating realizations is infeasible, so we bracket the optimum:
+//   upper bound — the diameter of the Theorem 2.3 construction (≤ 4 whenever
+//                 σ ≥ n−1; the same graph also witnesses PoS = O(1));
+//   lower bound — 1 iff σ is large enough that some realization is a
+//                 complete graph, else 2; Cinf when σ < n−1 (every
+//                 realization is disconnected, diameter n²).
+#pragma once
+
+#include <cstdint>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+struct OptBounds {
+  std::uint64_t lower = 0;  ///< no realization beats this diameter
+  std::uint64_t upper = 0;  ///< witnessed by the Theorem 2.3 construction
+};
+
+[[nodiscard]] OptBounds opt_diameter_bounds(const BudgetGame& game,
+                                            ThreadPool* pool = nullptr);
+
+struct PoaEstimate {
+  std::uint64_t equilibrium_diameter = 0;
+  OptBounds opt;
+  double ratio_lower = 0;  ///< equilibrium_diameter / opt.upper
+  double ratio_upper = 0;  ///< equilibrium_diameter / opt.lower
+};
+
+/// Bracket the PoA contribution of one equilibrium graph.
+[[nodiscard]] PoaEstimate poa_estimate(const BudgetGame& game, const Digraph& equilibrium,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,79 @@
+#include "constructions/shift_graph.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace bbng {
+namespace {
+
+/// t^k with overflow guard (throws if it exceeds the cap).
+std::uint64_t checked_pow(std::uint64_t base, std::uint32_t exp, std::uint64_t cap) {
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    BBNG_REQUIRE_MSG(result <= cap / base, "shift graph too large");
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool shift_graph_condition(std::uint32_t t, std::uint32_t k) {
+  // (2t)^k − 1 < t^k (2t − 1), computed in 128 bits to stay exact.
+  __uint128_t lhs = 1, rhs = 1;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    lhs *= 2ULL * t;
+    rhs *= t;
+    if (lhs > (static_cast<__uint128_t>(1) << 120)) return false;  // lhs only grows faster
+  }
+  rhs *= (2ULL * t - 1);
+  return lhs - 1 < rhs;
+}
+
+bool expansion_condition(std::uint64_t max_degree, std::uint64_t diam, std::uint64_t n) {
+  // Δ^d − 1 < n(Δ−1)
+  __uint128_t lhs = 1;
+  for (std::uint64_t i = 0; i < diam; ++i) {
+    lhs *= max_degree;
+    if (lhs > (static_cast<__uint128_t>(1) << 120)) return false;
+  }
+  return lhs - 1 < static_cast<__uint128_t>(n) * (max_degree - 1);
+}
+
+UGraph shift_graph(std::uint32_t t, std::uint32_t k) {
+  BBNG_REQUIRE(t >= 2 && k >= 1);
+  const std::uint64_t n64 = checked_pow(t, k, 1ULL << 24);  // ≤ ~16M vertices
+  const auto n = static_cast<std::uint32_t>(n64);
+  const std::uint64_t high = n64 / t;  // t^{k-1}
+
+  UGraph g(n);
+  for (std::uint64_t x = 0; x < n64; ++x) {
+    // Left shift: y = (x drop first symbol) · t + c  →  y_i = x_{i+1}.
+    // Right shift: y = c · t^{k-1} + (x drop last symbol)  →  x_i = y_{i+1}.
+    // A left-shift neighbour of x is a right-shift neighbour of y, so adding
+    // only pairs with y > x covers every unordered edge exactly once.
+    const std::uint64_t base_left = (x % high) * t;
+    const std::uint64_t base_right = x / t;
+    for (std::uint32_t c = 0; c < t; ++c) {
+      for (const std::uint64_t y :
+           {base_left + c, static_cast<std::uint64_t>(c) * high + base_right}) {
+        if (y > x && !g.has_edge(static_cast<Vertex>(x), static_cast<Vertex>(y))) {
+          g.add_edge(static_cast<Vertex>(x), static_cast<Vertex>(y));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Digraph shift_graph_realization(std::uint32_t t, std::uint32_t k) {
+  const UGraph u = shift_graph(t, k);
+  BBNG_REQUIRE_MSG(u.min_degree() >= 2, "orientation needs min degree ≥ 2");
+  Digraph g = orient_with_positive_outdegree(u);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) BBNG_ASSERT(g.out_degree(v) >= 1);
+  return g;
+}
+
+}  // namespace bbng

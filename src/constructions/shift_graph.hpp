@@ -1,0 +1,40 @@
+// Lemma 5.2 / Theorem 5.3: the shift graph — MAX-version equilibria with
+// diameter √(log n) although every player has a positive budget (the
+// Braess-like lower bound of Section 5).
+//
+// Vertices are strings in {0..t-1}^k; x ~ y iff y is x shifted by one symbol
+// (in either direction). The graph has t^k vertices, min degree ≥ t−1, max
+// degree ≤ 2t, and diameter exactly k. When (2t)^k − 1 < t^k(2t−1) holds,
+// EVERY orientation G with U(G) = U is a MAX equilibrium (Lemma 5.2);
+// Theorem 5.3 instantiates t = 2^k, giving n = 2^{k²} and diameter
+// k = √(log n).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+/// The undirected shift graph on {0..t-1}^k. Requires t ≥ 2, k ≥ 1 and
+/// t^k to fit comfortably in memory.
+[[nodiscard]] UGraph shift_graph(std::uint32_t t, std::uint32_t k);
+
+/// Lemma 5.2's hypothesis (2t)^k − 1 < t^k·(2t−1), evaluated exactly.
+[[nodiscard]] bool shift_graph_condition(std::uint32_t t, std::uint32_t k);
+
+/// Lemma 5.1's hypothesis Δ^d − 1 < n(Δ−1) for given Δ, d, n.
+[[nodiscard]] bool expansion_condition(std::uint64_t max_degree, std::uint64_t diam,
+                                       std::uint64_t n);
+
+/// A realization: orientation of the shift graph with all outdegrees ≥ 1
+/// (exists because the minimum degree is ≥ 2 for t ≥ 3).
+[[nodiscard]] Digraph shift_graph_realization(std::uint32_t t, std::uint32_t k);
+
+/// Theorem 5.3 parameters: t = 2^k, n = t^k = 2^{k²}.
+[[nodiscard]] constexpr std::uint32_t theorem53_alphabet(std::uint32_t k) noexcept {
+  return 1U << k;
+}
+
+}  // namespace bbng

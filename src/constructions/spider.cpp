@@ -1,0 +1,30 @@
+#include "constructions/spider.hpp"
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+SpiderLayout spider_layout(std::uint32_t k) {
+  BBNG_REQUIRE(k >= 1);
+  SpiderLayout layout;
+  layout.k = k;
+  layout.hub = 0;
+  return layout;
+}
+
+Digraph spider_digraph(std::uint32_t k) {
+  const SpiderLayout layout = spider_layout(k);
+  Digraph g(layout.num_vertices());
+  for (std::uint32_t leg = 0; leg < 3; ++leg) {
+    // Leg head owns the arc into the hub…
+    g.add_arc(layout.leg_vertex(leg, 1), layout.hub);
+    // …and each inner vertex owns the arc to the next one outward.
+    for (std::uint32_t pos = 1; pos < k; ++pos) {
+      g.add_arc(layout.leg_vertex(leg, pos), layout.leg_vertex(leg, pos + 1));
+    }
+  }
+  BBNG_ASSERT(g.num_arcs() == 3ULL * k);
+  return g;
+}
+
+}  // namespace bbng

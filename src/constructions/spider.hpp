@@ -1,0 +1,32 @@
+// Theorem 3.2 / Figure 2: the 3-legged spider — a Tree-BG equilibrium in the
+// MAX version with diameter 2k = Θ(n).
+//
+// n = 3k+1 vertices: hub w plus legs X, Y, Z of length k. Arcs run outward
+// along each leg (x_i → x_{i+1}) and the three leg heads own arcs into the
+// hub (x_1 → w). So x_1, y_1, z_1 have budget 2, inner leg vertices have
+// budget 1, and w plus the three leg tips have budget 0. Total budget
+// 3k = n−1: a Tree-BG instance whose price of anarchy is Θ(n).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace bbng {
+
+struct SpiderLayout {
+  std::uint32_t k = 0;  ///< leg length
+  Vertex hub = 0;       ///< w
+  /// Leg vertex ids: leg ∈ {0,1,2}, pos ∈ {1..k}.
+  [[nodiscard]] Vertex leg_vertex(std::uint32_t leg, std::uint32_t pos) const {
+    return 1 + leg * k + (pos - 1);
+  }
+  [[nodiscard]] std::uint32_t num_vertices() const { return 3 * k + 1; }
+};
+
+/// Build the spider for leg length k ≥ 1 (n = 3k+1).
+[[nodiscard]] Digraph spider_digraph(std::uint32_t k);
+
+[[nodiscard]] SpiderLayout spider_layout(std::uint32_t k);
+
+}  // namespace bbng

@@ -1,0 +1,32 @@
+#include "constructions/unit_budget.hpp"
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Digraph cycle_with_leaves(std::uint32_t cycle_len, const std::vector<std::uint32_t>& leaves) {
+  BBNG_REQUIRE(cycle_len >= 2);
+  BBNG_REQUIRE(leaves.size() == cycle_len);
+  std::uint32_t n = cycle_len;
+  for (const std::uint32_t l : leaves) n += l;
+  Digraph g(n);
+  for (Vertex v = 0; v < cycle_len; ++v) g.add_arc(v, (v + 1) % cycle_len);
+  Vertex next = cycle_len;
+  for (Vertex c = 0; c < cycle_len; ++c) {
+    for (std::uint32_t l = 0; l < leaves[c]; ++l) g.add_arc(next++, c);
+  }
+  BBNG_ASSERT(next == n);
+  return g;
+}
+
+Digraph cycle_with_uniform_leaves(std::uint32_t cycle_len, std::uint32_t leaves_per_vertex) {
+  return cycle_with_leaves(cycle_len,
+                           std::vector<std::uint32_t>(cycle_len, leaves_per_vertex));
+}
+
+UnitBudgetBounds unit_budget_bounds(bool max_version) {
+  if (max_version) return {7, 2, 8};
+  return {5, 1, 5};
+}
+
+}  // namespace bbng

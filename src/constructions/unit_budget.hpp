@@ -1,0 +1,36 @@
+// Section 4: structure of (1,…,1)-BG equilibria.
+//
+// Every vertex owns exactly one arc, so realizations are functional graphs.
+// Theorem 4.1 (SUM): an equilibrium is connected, has one cycle of length
+// ≤ 5, and every vertex is on or adjacent to it — hence diameter < 5.
+// Theorem 4.2 (MAX): cycle length ≤ 7, vertices within distance 2 — diameter
+// < 8. cycle_with_leaves() builds the canonical candidate shape (a directed
+// cycle with leaf arcs pointing into it) used by the Section 4 benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bbng {
+
+/// Directed cycle of length `cycle_len` (vertices 0..cycle_len-1) with
+/// `leaves[i]` extra vertices pointing at cycle vertex i. All budgets are 1.
+[[nodiscard]] Digraph cycle_with_leaves(std::uint32_t cycle_len,
+                                        const std::vector<std::uint32_t>& leaves);
+
+/// Convenience: `leaves_per_vertex` leaves on every cycle vertex.
+[[nodiscard]] Digraph cycle_with_uniform_leaves(std::uint32_t cycle_len,
+                                                std::uint32_t leaves_per_vertex);
+
+/// Theorem 4.1 / 4.2 structural bounds on equilibria.
+struct UnitBudgetBounds {
+  std::uint32_t max_cycle_length;    ///< 5 (SUM) or 7 (MAX)
+  std::uint32_t max_dist_to_cycle;   ///< 1 (SUM) or 2 (MAX)
+  std::uint32_t diameter_bound;      ///< exclusive: 5 (SUM) or 8 (MAX)
+};
+
+[[nodiscard]] UnitBudgetBounds unit_budget_bounds(bool max_version);
+
+}  // namespace bbng

@@ -1,0 +1,70 @@
+#include "facility/kcenter.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+
+std::uint64_t kcenter_objective(const UGraph& g, std::span<const Vertex> centers) {
+  BBNG_REQUIRE(!centers.empty());
+  BfsRunner runner(g.num_vertices());
+  runner.run_multi(g, centers);
+  if (runner.reached() != g.num_vertices()) return kUnreachable;
+  return runner.max_dist();
+}
+
+FacilitySolution exact_kcenter(const UGraph& g, std::uint32_t k, std::uint64_t limit) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(k >= 1 && k <= n);
+  BBNG_REQUIRE_MSG(binomial(n, k) <= limit, "k-center enumeration over limit");
+
+  FacilitySolution best;
+  best.objective = ~0ULL;
+  BfsRunner runner(n);
+  std::vector<Vertex> centers(k);
+  for (CombinationIterator it(n, k); it.valid(); it.advance()) {
+    const auto subset = it.current();
+    std::copy(subset.begin(), subset.end(), centers.begin());
+    runner.run_multi(g, centers);
+    ++best.evaluated;
+    const std::uint64_t objective =
+        runner.reached() == n ? runner.max_dist() : kUnreachable;
+    if (objective < best.objective) {
+      best.objective = objective;
+      best.centers = centers;
+    }
+  }
+  return best;
+}
+
+FacilitySolution greedy_kcenter(const UGraph& g, std::uint32_t k, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(k >= 1 && k <= n);
+  FacilitySolution solution;
+  solution.centers.push_back(static_cast<Vertex>(rng.next_below(n)));
+  BfsRunner runner(n);
+  while (solution.centers.size() < k) {
+    runner.run_multi(g, solution.centers);
+    // Farthest vertex from the current centers (unreached counts as ∞).
+    // Any non-center has distance ≥ 1, so the pick is always a fresh vertex.
+    Vertex farthest = 0;
+    std::uint64_t farthest_dist = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint64_t d = runner.dist(v) == kUnreachable ? ~0ULL : runner.dist(v);
+      if (d > farthest_dist) {
+        farthest = v;
+        farthest_dist = d;
+      }
+    }
+    BBNG_ASSERT(farthest_dist > 0);
+    solution.centers.push_back(farthest);
+    ++solution.evaluated;
+  }
+  solution.objective = kcenter_objective(g, solution.centers);
+  solution.evaluated += 1;
+  return solution;
+}
+
+}  // namespace bbng

@@ -1,0 +1,33 @@
+// k-center solvers (used by the Theorem 2.1 reduction experiments).
+//
+// objective(S) = max_v dist(v, S). Exact search enumerates all C(n,k) center
+// sets with one multi-source BFS each; Gonzalez's farthest-point heuristic
+// gives the classical 2-approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+struct FacilitySolution {
+  std::vector<Vertex> centers;
+  std::uint64_t objective = 0;  ///< max (k-center) or sum (k-median) of distances
+  std::uint64_t evaluated = 0;  ///< candidate sets scored
+};
+
+/// max_v dist(v, centers); kUnreachable if some vertex is unreachable.
+[[nodiscard]] std::uint64_t kcenter_objective(const UGraph& g,
+                                              std::span<const Vertex> centers);
+
+/// Exact k-center via full enumeration. Requires C(n,k) ≤ limit.
+[[nodiscard]] FacilitySolution exact_kcenter(const UGraph& g, std::uint32_t k,
+                                             std::uint64_t limit = 5'000'000);
+
+/// Gonzalez farthest-point traversal (2-approximation on connected graphs).
+[[nodiscard]] FacilitySolution greedy_kcenter(const UGraph& g, std::uint32_t k, Rng& rng);
+
+}  // namespace bbng

@@ -1,0 +1,83 @@
+#include "facility/kmedian.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+
+std::uint64_t kmedian_objective(const UGraph& g, std::span<const Vertex> centers,
+                                std::uint64_t unreachable_cost) {
+  BBNG_REQUIRE(!centers.empty());
+  BfsRunner runner(g.num_vertices());
+  runner.run_multi(g, centers);
+  const std::uint64_t missing = g.num_vertices() - runner.reached();
+  return runner.sum_dist() + missing * unreachable_cost;
+}
+
+FacilitySolution exact_kmedian(const UGraph& g, std::uint32_t k, std::uint64_t limit) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(k >= 1 && k <= n);
+  BBNG_REQUIRE_MSG(binomial(n, k) <= limit, "k-median enumeration over limit");
+  const std::uint64_t inf = static_cast<std::uint64_t>(n) * n;
+
+  FacilitySolution best;
+  best.objective = ~0ULL;
+  BfsRunner runner(n);
+  std::vector<Vertex> centers(k);
+  for (CombinationIterator it(n, k); it.valid(); it.advance()) {
+    const auto subset = it.current();
+    std::copy(subset.begin(), subset.end(), centers.begin());
+    runner.run_multi(g, centers);
+    ++best.evaluated;
+    const std::uint64_t missing = n - runner.reached();
+    const std::uint64_t objective = runner.sum_dist() + missing * inf;
+    if (objective < best.objective) {
+      best.objective = objective;
+      best.centers = centers;
+    }
+  }
+  return best;
+}
+
+FacilitySolution local_search_kmedian(const UGraph& g, std::uint32_t k, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(k >= 1 && k <= n);
+  const std::uint64_t inf = static_cast<std::uint64_t>(n) * n;
+
+  FacilitySolution solution;
+  const auto start = rng.sample(n, k);
+  solution.centers.assign(start.begin(), start.end());
+  std::vector<bool> is_center(n, false);
+  for (const Vertex c : solution.centers) is_center[c] = true;
+
+  std::uint64_t cost = kmedian_objective(g, solution.centers, inf);
+  solution.evaluated = 1;
+  bool improved = true;
+  std::vector<Vertex> trial;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < solution.centers.size() && !improved; ++i) {
+      for (Vertex v = 0; v < n && !improved; ++v) {
+        if (is_center[v]) continue;
+        trial = solution.centers;
+        trial[i] = v;
+        const std::uint64_t trial_cost = kmedian_objective(g, trial, inf);
+        ++solution.evaluated;
+        if (trial_cost < cost) {
+          is_center[solution.centers[i]] = false;
+          is_center[v] = true;
+          solution.centers[i] = v;
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+    }
+  }
+  solution.objective = cost;
+  std::sort(solution.centers.begin(), solution.centers.end());
+  return solution;
+}
+
+}  // namespace bbng

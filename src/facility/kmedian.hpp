@@ -1,0 +1,27 @@
+// k-median solvers (the SUM half of the Theorem 2.1 reduction).
+//
+// objective(S) = Σ_v dist(v, S). Exact search enumerates all C(n,k) center
+// sets; the heuristic is classical single-swap local search (a constant-
+// factor approximation on metrics).
+#pragma once
+
+#include <cstdint>
+
+#include "facility/kcenter.hpp"  // FacilitySolution
+#include "graph/ugraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+/// Σ_v dist(v, centers); unreachable vertices charge `unreachable_cost`.
+[[nodiscard]] std::uint64_t kmedian_objective(const UGraph& g, std::span<const Vertex> centers,
+                                              std::uint64_t unreachable_cost);
+
+/// Exact k-median via full enumeration. Requires C(n,k) ≤ limit.
+[[nodiscard]] FacilitySolution exact_kmedian(const UGraph& g, std::uint32_t k,
+                                             std::uint64_t limit = 5'000'000);
+
+/// Single-swap local search from a random start.
+[[nodiscard]] FacilitySolution local_search_kmedian(const UGraph& g, std::uint32_t k, Rng& rng);
+
+}  // namespace bbng

@@ -1,0 +1,47 @@
+// Theorem 2.1: facility location reduces to best response.
+//
+// Given an undirected graph H on n vertices and a budget k, add one new
+// player with budget k whose strategy is exactly a set of k "centers" in H.
+// Because every path from the new player enters H through one of its chosen
+// neighbours,
+//   cMAX(new) = 1 + (k-center objective of its strategy), and
+//   cSUM(new) = n + (k-median objective of its strategy),
+// so the new player's best response *is* an optimal k-center / k-median set.
+// This module builds the reduction instance and converts costs back to
+// facility objectives — the experiment behind bench_best_response.
+#pragma once
+
+#include <cstdint>
+
+#include "facility/kcenter.hpp"
+#include "game/best_response.hpp"
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+struct ReductionInstance {
+  Digraph realization{1};  ///< H oriented + the new player with k placeholder arcs
+  Vertex new_player = 0;   ///< always the last vertex
+  std::uint32_t k = 0;
+  std::uint32_t h_size = 0;  ///< |V(H)|
+};
+
+/// Build the (b1,…,bn,k)-BG instance of the proof: b_i = outdegree of an
+/// arbitrary orientation of H, b_{n+1} = k. The new player starts with k
+/// placeholder arcs (its strategy is irrelevant to its own best response).
+[[nodiscard]] ReductionInstance make_reduction_instance(const UGraph& h, std::uint32_t k);
+
+/// Translate the new player's best-response cost into the facility
+/// objective: cost − 1 (MAX / k-center) or cost − |V(H)| (SUM / k-median).
+[[nodiscard]] std::uint64_t facility_value_from_cost(const ReductionInstance& instance,
+                                                     CostVersion version, std::uint64_t cost);
+
+/// End-to-end: solve the facility problem on connected H by running the
+/// exact best-response solver on the reduction instance.
+[[nodiscard]] FacilitySolution solve_facility_via_best_response(
+    const UGraph& h, std::uint32_t k, CostVersion version,
+    std::uint64_t exact_limit = 2'000'000);
+
+}  // namespace bbng

@@ -1,0 +1,52 @@
+// One-call audit of a game state: everything the paper's theorems speak
+// about, gathered into a single report — diameter, cost spread, braces,
+// connectivity, and the strongest equilibrium certificate that is feasible
+// to compute at the instance's size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+enum class StabilityCertificate {
+  ExactNash,       ///< full best-response enumeration passed for every player
+  SwapStable,      ///< no single-head swap improves (necessary condition)
+  NotEquilibrium,  ///< an improving deviation was found
+  Unknown,         ///< instance too large for the verifier budget
+};
+
+[[nodiscard]] std::string to_string(StabilityCertificate certificate);
+
+struct StateAudit {
+  std::uint32_t num_players = 0;
+  std::uint64_t total_budget = 0;
+  bool connected = false;
+  std::uint64_t social_cost = 0;       ///< diameter; n² when disconnected
+  std::uint64_t brace_count = 0;
+  std::uint32_t vertex_connectivity = 0;
+  std::uint64_t min_cost = 0;          ///< best-off player
+  std::uint64_t max_cost = 0;          ///< worst-off player
+  double mean_cost = 0;
+  StabilityCertificate certificate = StabilityCertificate::Unknown;
+};
+
+struct AuditOptions {
+  CostVersion version = CostVersion::Sum;
+  /// Exact verification is attempted when every player's candidate count is
+  /// below this; otherwise the swap check runs if the swap budget allows.
+  std::uint64_t exact_limit = 200'000;
+  /// Swap verification is attempted when Σ b_u·(n−b_u) is below this.
+  std::uint64_t swap_limit = 2'000'000;
+  bool compute_connectivity = true;  ///< κ needs O(n) max-flows; optional
+};
+
+[[nodiscard]] StateAudit audit_state(const Digraph& g, const AuditOptions& options = {},
+                                     ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,178 @@
+#include "game/best_response.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "parallel/parallel_for.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+namespace {
+
+/// Map a candidate index in {0,…,n-2} to a vertex id, skipping `u`.
+inline Vertex index_to_vertex(std::uint32_t index, Vertex u) noexcept {
+  return index >= u ? index + 1 : index;
+}
+
+/// Lexicographic comparison used for deterministic tie-breaking.
+bool lex_less(const std::vector<Vertex>& a, const std::vector<Vertex>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+std::uint64_t BestResponseSolver::candidate_count(const Digraph& g, Vertex u) {
+  BBNG_REQUIRE(u < g.num_vertices());
+  return binomial(g.num_vertices() - 1, g.out_degree(u));
+}
+
+BestResponse BestResponseSolver::exact(const Digraph& g, Vertex u, ThreadPool* pool) const {
+  const std::uint64_t total = candidate_count(g, u);
+  BBNG_REQUIRE_MSG(total <= exact_limit_,
+                   "candidate count exceeds the exact-search limit; use solve()");
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(u);
+  const StrategyEvaluator eval(g, u, version_);
+
+  BestResponse result;
+  result.current_cost = eval.current_cost();
+  result.cost = ~0ULL;
+  result.evaluated = total;
+  result.exact = true;
+
+  std::mutex merge_mutex;
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  const std::uint64_t grain = pick_grain(total, exec.width(), 64);
+
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    StrategyEvaluator::Scratch scratch(n);
+    std::vector<Vertex> heads(b);
+    std::vector<Vertex> best_heads;
+    std::uint64_t best_cost = ~0ULL;
+    CombinationIterator it(n - 1, b, unrank_combination(n - 1, b, begin));
+    for (std::uint64_t rank = begin; rank < end; ++rank, it.advance()) {
+      BBNG_ASSERT(it.valid());
+      const auto subset = it.current();
+      for (std::uint32_t i = 0; i < b; ++i) heads[i] = index_to_vertex(subset[i], u);
+      const std::uint64_t cost = eval.evaluate(heads, scratch);
+      if (cost < best_cost || (cost == best_cost && lex_less(heads, best_heads))) {
+        best_cost = cost;
+        best_heads = heads;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    if (best_cost < result.cost ||
+        (best_cost == result.cost && lex_less(best_heads, result.strategy))) {
+      result.cost = best_cost;
+      result.strategy = std::move(best_heads);
+    }
+  };
+  exec.run_chunked(total, grain, chunk);
+  return result;
+}
+
+BestResponse BestResponseSolver::greedy(const Digraph& g, Vertex u) const {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(u);
+  const StrategyEvaluator eval(g, u, version_);
+  StrategyEvaluator::Scratch scratch(n);
+
+  BestResponse result;
+  result.current_cost = eval.current_cost();
+  result.evaluated = 0;
+  result.exact = (b == 0);
+
+  std::vector<Vertex> strategy;
+  std::vector<bool> used(n, false);
+  used[u] = true;
+  std::vector<Vertex> trial;
+  for (std::uint32_t step = 0; step < b; ++step) {
+    Vertex best_target = kUnreachable;
+    std::uint64_t best_cost = ~0ULL;
+    for (Vertex t = 0; t < n; ++t) {
+      if (used[t]) continue;
+      trial = strategy;
+      trial.push_back(t);
+      const std::uint64_t cost = eval.evaluate(trial, scratch);
+      ++result.evaluated;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_target = t;
+      }
+    }
+    BBNG_ASSERT(best_target != kUnreachable);
+    strategy.push_back(best_target);
+    used[best_target] = true;
+  }
+  std::sort(strategy.begin(), strategy.end());
+  result.cost = eval.evaluate(strategy, scratch);
+  result.strategy = std::move(strategy);
+  return result;
+}
+
+BestResponse BestResponseSolver::swap_improve(const Digraph& g, Vertex u,
+                                              std::optional<std::vector<Vertex>> start) const {
+  const std::uint32_t n = g.num_vertices();
+  const StrategyEvaluator eval(g, u, version_);
+  StrategyEvaluator::Scratch scratch(n);
+
+  std::vector<Vertex> strategy =
+      start.has_value() ? std::move(*start) : eval.current_strategy();
+  std::sort(strategy.begin(), strategy.end());
+
+  BestResponse result;
+  result.current_cost = eval.current_cost();
+  result.evaluated = 1;
+  result.exact = false;
+  std::uint64_t cost = eval.evaluate(strategy, scratch);
+
+  std::vector<bool> used(n, false);
+  for (const Vertex h : strategy) used[h] = true;
+  used[u] = true;
+
+  bool improved = true;
+  std::vector<Vertex> trial;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < strategy.size() && !improved; ++i) {
+      for (Vertex t = 0; t < n && !improved; ++t) {
+        if (used[t]) continue;
+        trial = strategy;
+        trial[i] = t;
+        const std::uint64_t trial_cost = eval.evaluate(trial, scratch);
+        ++result.evaluated;
+        if (trial_cost < cost) {
+          used[strategy[i]] = false;
+          used[t] = true;
+          strategy[i] = t;
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+    }
+  }
+  std::sort(strategy.begin(), strategy.end());
+  result.strategy = std::move(strategy);
+  result.cost = cost;
+  return result;
+}
+
+BestResponse BestResponseSolver::solve(const Digraph& g, Vertex u, ThreadPool* pool) const {
+  if (exact_feasible(g, u)) return exact(g, u, pool);
+  BestResponse coarse = greedy(g, u);
+  BestResponse refined = swap_improve(g, u, coarse.strategy);
+  refined.evaluated += coarse.evaluated;
+  if (coarse.cost < refined.cost) {
+    refined.strategy = std::move(coarse.strategy);
+    refined.cost = coarse.cost;
+  }
+  // A heuristic must never recommend a deviation worse than staying put.
+  if (refined.cost >= refined.current_cost) {
+    refined.strategy.assign(g.out_neighbors(u).begin(), g.out_neighbors(u).end());
+    refined.cost = refined.current_cost;
+  }
+  return refined;
+}
+
+}  // namespace bbng

@@ -1,0 +1,76 @@
+// Best-response solvers.
+//
+// Computing a best response is NP-hard (Theorem 2.1: k-center / k-median
+// reduce to it), so the library offers a solver ladder:
+//
+//   * exact   — enumerate all C(n-1, b) strategies (parallel over lex ranks);
+//               only attempted when the candidate count is below a limit.
+//   * greedy  — build the strategy one arc at a time, each arc chosen to
+//               minimise the player's cost given the arcs picked so far
+//               (the classical greedy for k-center/k-median-like objectives).
+//   * swap    — hill-climb from a start strategy by single-head swaps until
+//               no swap improves (the move set of Alon et al.'s basic games,
+//               and the "weak equilibrium" moves of Section 6).
+//   * solve   — exact when feasible, otherwise greedy refined by swap.
+//
+// All solvers return the player's *cost under the returned strategy*; they
+// never mutate the input graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "game/game.hpp"
+#include "game/strategy_eval.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+struct BestResponse {
+  std::vector<Vertex> strategy;     ///< sorted heads
+  std::uint64_t cost = 0;           ///< player's cost under `strategy`
+  std::uint64_t current_cost = 0;   ///< player's cost before deviating
+  std::uint64_t evaluated = 0;      ///< candidate strategies scored
+  bool exact = false;               ///< true iff produced by full enumeration
+  [[nodiscard]] bool improves() const noexcept { return cost < current_cost; }
+};
+
+class BestResponseSolver {
+ public:
+  /// `exact_limit` caps the number of candidates full enumeration may score.
+  explicit BestResponseSolver(CostVersion version, std::uint64_t exact_limit = 2'000'000)
+      : version_(version), exact_limit_(exact_limit) {}
+
+  [[nodiscard]] CostVersion version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t exact_limit() const noexcept { return exact_limit_; }
+
+  /// Number of candidate strategies of player u (C(n-1, b_u), clamped).
+  [[nodiscard]] static std::uint64_t candidate_count(const Digraph& g, Vertex u);
+
+  /// True iff exact() would accept this player.
+  [[nodiscard]] bool exact_feasible(const Digraph& g, Vertex u) const {
+    return candidate_count(g, u) <= exact_limit_;
+  }
+
+  /// Full enumeration. Throws std::invalid_argument when over the limit.
+  [[nodiscard]] BestResponse exact(const Digraph& g, Vertex u, ThreadPool* pool = nullptr) const;
+
+  /// Greedy arc-by-arc construction (b evaluations of ≤ n-1 candidates each).
+  [[nodiscard]] BestResponse greedy(const Digraph& g, Vertex u) const;
+
+  /// Single-head hill climbing from `start` (defaults to current strategy).
+  [[nodiscard]] BestResponse swap_improve(
+      const Digraph& g, Vertex u,
+      std::optional<std::vector<Vertex>> start = std::nullopt) const;
+
+  /// exact when feasible, else greedy refined by swap_improve.
+  [[nodiscard]] BestResponse solve(const Digraph& g, Vertex u, ThreadPool* pool = nullptr) const;
+
+ private:
+  CostVersion version_;
+  std::uint64_t exact_limit_;
+};
+
+}  // namespace bbng

@@ -1,0 +1,59 @@
+#include "game/cost.hpp"
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace bbng {
+
+std::uint64_t vertex_cost(const UGraph& g, Vertex u, CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(u < n);
+  BfsRunner runner(n);
+  runner.run(g, u);
+  const std::uint64_t inf = cinf(n);
+  if (version == CostVersion::Sum) {
+    const std::uint64_t missing = n - runner.reached();
+    return runner.sum_dist() + missing * inf;
+  }
+  // MAX version: local diameter + (κ-1)·n²; local diameter is n² whenever
+  // the graph is disconnected (some pair sits at distance Cinf).
+  if (runner.reached() == n) return runner.max_dist();
+  const std::uint32_t kappa = connected_components(g).count;
+  return inf + (kappa - 1) * inf;
+}
+
+std::uint64_t vertex_cost(const Digraph& g, Vertex u, CostVersion version) {
+  return vertex_cost(g.underlying(), u, version);
+}
+
+std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint64_t> costs(n);
+  if (n == 0) return costs;
+  const std::uint64_t inf = cinf(n);
+  const std::uint32_t kappa = connected_components(g).count;
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    BfsRunner runner(n);
+    for (std::uint64_t u = begin; u < end; ++u) {
+      runner.run(g, static_cast<Vertex>(u));
+      if (version == CostVersion::Sum) {
+        costs[u] = runner.sum_dist() + static_cast<std::uint64_t>(n - runner.reached()) * inf;
+      } else {
+        costs[u] = (kappa == 1) ? runner.max_dist() : inf + (kappa - 1) * inf;
+      }
+    }
+  };
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  return costs;
+}
+
+std::uint64_t social_cost(const UGraph& g, ThreadPool* pool) {
+  const std::uint32_t d = diameter(g, pool);
+  return d == kUnreachable ? cinf(g.num_vertices()) : d;
+}
+
+}  // namespace bbng

@@ -1,0 +1,35 @@
+// Player cost functions (Section 1.2).
+//
+//   cSUM(u) = Σ_v dist(u, v)            with dist = Cinf = n² across components
+//   cMAX(u) = locdiam(u) + (κ−1)·n²      where locdiam(u) = n² when κ > 1
+//
+// κ is the number of connected components of the underlying graph. With
+// these definitions a player always strictly prefers strategies that reduce
+// the number of components (the paper's reason for choosing Cinf = n²).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Cost of vertex u in the underlying graph `g` (κ recomputed as needed).
+[[nodiscard]] std::uint64_t vertex_cost(const UGraph& g, Vertex u, CostVersion version);
+
+/// Convenience overload on a realization.
+[[nodiscard]] std::uint64_t vertex_cost(const Digraph& g, Vertex u, CostVersion version);
+
+/// All players' costs (one BFS per vertex, parallel over sources).
+[[nodiscard]] std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version,
+                                                   ThreadPool* pool = nullptr);
+
+/// Social cost of a state = diameter of the underlying graph; the paper uses
+/// n² for disconnected states (every realization with σ < n−1 has this cost).
+[[nodiscard]] std::uint64_t social_cost(const UGraph& g, ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,106 @@
+#include "game/dynamics.hpp"
+
+#include <numeric>
+#include <optional>
+#include <unordered_set>
+
+#include "game/cost.hpp"
+#include "game/strategy_eval.hpp"
+
+namespace bbng {
+namespace {
+
+/// First improving single-head swap for player u, or nullopt at a local
+/// optimum. Scans heads in order, targets in vertex order — deterministic.
+std::optional<std::vector<Vertex>> first_improving_swap(const Digraph& g, Vertex u,
+                                                        CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  const StrategyEvaluator eval(g, u, version);
+  StrategyEvaluator::Scratch scratch(n);
+  const std::uint64_t base = eval.current_cost();
+  std::vector<Vertex> strategy = eval.current_strategy();
+  std::vector<bool> used(n, false);
+  for (const Vertex h : strategy) used[h] = true;
+  used[u] = true;
+  std::vector<Vertex> trial;
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    for (Vertex t = 0; t < n; ++t) {
+      if (used[t]) continue;
+      trial = strategy;
+      trial[i] = t;
+      if (eval.evaluate(trial, scratch) < base) return trial;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DynamicsResult run_best_response_dynamics(const Digraph& initial, const DynamicsConfig& config,
+                                          ThreadPool* pool) {
+  const std::uint32_t n = initial.num_vertices();
+  const BestResponseSolver solver(config.version, config.exact_limit);
+  Rng rng(config.seed);
+
+  DynamicsResult result;
+  result.graph = initial;
+
+  std::unordered_set<std::uint64_t> seen_states;
+  if (config.detect_cycles) seen_states.insert(result.graph.hash());
+  if (config.record_trajectory) {
+    result.trajectory.push_back(social_cost(result.graph.underlying(), pool));
+  }
+
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+
+  for (std::uint64_t round = 0; round < config.max_rounds; ++round) {
+    if (config.schedule == Schedule::RandomPermutation) {
+      rng.shuffle(order);
+    } else if (config.schedule == Schedule::UniformRandom) {
+      for (auto& slot : order) slot = static_cast<Vertex>(rng.next_below(n));
+    }
+
+    bool any_move = false;
+    for (const Vertex u : order) {
+      if (result.graph.out_degree(u) == 0) continue;
+      std::vector<Vertex> next_strategy;
+      if (config.policy == MovePolicy::FirstImprovingSwap) {
+        auto swap = first_improving_swap(result.graph, u, config.version);
+        result.all_moves_exact = false;  // swap moves never certify Nash
+        if (!swap) continue;
+        next_strategy = std::move(*swap);
+        ++result.evaluations;
+      } else {
+        const BestResponse br = solver.solve(result.graph, u, pool);
+        result.evaluations += br.evaluated;
+        result.all_moves_exact = result.all_moves_exact && br.exact;
+        if (!br.improves()) continue;
+        next_strategy = br.strategy;
+      }
+      result.graph.set_strategy(u, next_strategy);
+      ++result.moves;
+      any_move = true;
+      if (config.detect_cycles && config.schedule == Schedule::RoundRobin) {
+        if (!seen_states.insert(result.graph.hash()).second) {
+          result.cycle_detected = true;
+          result.rounds = round + 1;
+          return result;
+        }
+      }
+    }
+    result.rounds = round + 1;
+    if (config.record_trajectory) {
+      result.trajectory.push_back(social_cost(result.graph.underlying(), pool));
+    }
+    if (!any_move) {
+      // UniformRandom may simply have missed a player with an improvement;
+      // only schedules that scan every player certify convergence.
+      result.converged = config.schedule != Schedule::UniformRandom;
+      if (result.converged) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace bbng

@@ -1,0 +1,69 @@
+// Best-response dynamics.
+//
+// Starting from an arbitrary realization, players repeatedly switch to a
+// (better or best) response. The paper leaves convergence open (Section 8;
+// Laoutaris et al. exhibit a loop in the directed variant), so the engine
+// detects both convergence (a full pass with no strategy change) and
+// improvement cycles (a previously seen state recurs — only meaningful
+// under deterministic schedules).
+//
+// Per move the engine uses the exact solver when the player's candidate
+// space fits `exact_limit`, and greedy+swap otherwise; `DynamicsResult::
+// all_moves_exact` records whether the run ever fell back, because a
+// "converged" verdict is a Nash certificate only when every player's last
+// scan was exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/best_response.hpp"
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+enum class Schedule {
+  RoundRobin,         ///< players 0,1,…,n-1 each round
+  RandomPermutation,  ///< fresh uniform order each round
+  UniformRandom,      ///< n independent uniform picks per round
+};
+
+enum class MovePolicy {
+  BestResponse,        ///< each visit plays a (possibly heuristic) best response
+  FirstImprovingSwap,  ///< each visit applies the first improving single-head
+                       ///< swap (the move set of Alon et al.'s basic games);
+                       ///< convergence then certifies a swap equilibrium only
+};
+
+struct DynamicsConfig {
+  CostVersion version = CostVersion::Sum;
+  Schedule schedule = Schedule::RoundRobin;
+  MovePolicy policy = MovePolicy::BestResponse;
+  std::uint64_t max_rounds = 1000;       ///< full passes before giving up
+  std::uint64_t exact_limit = 200'000;   ///< per-player exact-search budget
+  std::uint64_t seed = 1;                ///< RNG for randomised schedules
+  bool detect_cycles = true;             ///< hash states to spot loops
+  bool record_trajectory = false;        ///< record social cost per round
+};
+
+struct DynamicsResult {
+  Digraph graph{1};            ///< final realization
+  bool converged = false;      ///< a full pass produced no move
+  bool cycle_detected = false; ///< a state hash recurred (round-robin only)
+  bool all_moves_exact = true; ///< no heuristic fallback was ever used
+  std::uint64_t rounds = 0;    ///< full passes executed
+  std::uint64_t moves = 0;     ///< strategy changes applied
+  std::uint64_t evaluations = 0;  ///< candidate strategies scored in total
+  /// Social cost (diameter; n² while disconnected) after each round, with
+  /// the initial state prepended. Filled when config.record_trajectory.
+  std::vector<std::uint64_t> trajectory;
+};
+
+[[nodiscard]] DynamicsResult run_best_response_dynamics(const Digraph& initial,
+                                                        const DynamicsConfig& config,
+                                                        ThreadPool* pool = nullptr);
+
+}  // namespace bbng

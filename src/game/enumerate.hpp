@@ -1,0 +1,53 @@
+// Exhaustive analysis of small games: enumerate EVERY realization (strategy
+// profile), identify all Nash equilibria, and compute the exact price of
+// anarchy and price of stability.
+//
+// The profile space is the product Π_i C(n-1, b_i); a mixed-radix counter
+// over per-player combination ranks walks it with incremental strategy
+// updates. This is exponential (the game is NP-hard even for one player's
+// move), but for n ≤ 7-ish it gives ground truth that the heuristic and
+// construction-based PoA brackets can be validated against — the benches'
+// "exact small-instance" columns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Number of strategy profiles of the game, clamped at `clamp`.
+[[nodiscard]] std::uint64_t profile_space_size(const BudgetGame& game,
+                                               std::uint64_t clamp = (1ULL << 62));
+
+/// Visit every realization of the game (lexicographic over per-player
+/// combination ranks). Stops early if the callback returns false. Returns
+/// the number of profiles visited. Throws if the space exceeds `limit`.
+std::uint64_t for_each_realization(const BudgetGame& game,
+                                   const std::function<bool(const Digraph&)>& visit,
+                                   std::uint64_t limit = 50'000'000);
+
+struct ExhaustiveAnalysis {
+  std::uint64_t profiles = 0;      ///< total realizations
+  std::uint64_t equilibria = 0;    ///< Nash equilibria among them
+  std::uint64_t opt_diameter = 0;  ///< min social cost over ALL realizations
+  std::uint64_t best_equilibrium_diameter = 0;   ///< PoS numerator
+  std::uint64_t worst_equilibrium_diameter = 0;  ///< PoA numerator
+  double price_of_stability = 0;
+  double price_of_anarchy = 0;
+  std::optional<Digraph> worst_equilibrium;  ///< a witness, if any equilibrium exists
+};
+
+/// Ground-truth PoA/PoS by full enumeration (profiles × equilibrium check).
+/// `limit` bounds the number of profiles; the per-profile equilibrium check
+/// is itself exhaustive (Theorem 2.1 caveat applies — keep n small).
+[[nodiscard]] ExhaustiveAnalysis exhaustive_analysis(const BudgetGame& game,
+                                                     CostVersion version,
+                                                     std::uint64_t limit = 2'000'000,
+                                                     ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,83 @@
+#include "game/equilibrium.hpp"
+
+#include "game/cost.hpp"
+#include "graph/bfs.hpp"
+
+namespace bbng {
+
+EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
+                                     std::uint64_t exact_limit, ThreadPool* pool) {
+  const BestResponseSolver solver(version, exact_limit);
+  EquilibriumReport report;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const BestResponse br = solver.exact(g, u, pool);
+    report.strategies_checked += br.evaluated;
+    if (br.improves()) {
+      report.stable = false;
+      report.deviator = u;
+      report.improving_strategy = br.strategy;
+      report.old_cost = br.current_cost;
+      report.new_cost = br.cost;
+      return report;
+    }
+  }
+  report.stable = true;
+  return report;
+}
+
+EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
+                                          ThreadPool* pool) {
+  (void)pool;  // evaluation is already BFS-bound per player; kept for API symmetry
+  const std::uint32_t n = g.num_vertices();
+  EquilibriumReport report;
+  for (Vertex u = 0; u < n; ++u) {
+    if (g.out_degree(u) == 0) continue;
+    const StrategyEvaluator eval(g, u, version);
+    StrategyEvaluator::Scratch scratch(n);
+    const std::uint64_t base_cost = eval.current_cost();
+    std::vector<Vertex> strategy = eval.current_strategy();
+    std::vector<bool> used(n, false);
+    for (const Vertex h : strategy) used[h] = true;
+    used[u] = true;
+    std::vector<Vertex> trial;
+    for (std::size_t i = 0; i < strategy.size(); ++i) {
+      for (Vertex t = 0; t < n; ++t) {
+        if (used[t]) continue;
+        trial = strategy;
+        trial[i] = t;
+        const std::uint64_t cost = eval.evaluate(trial, scratch);
+        ++report.strategies_checked;
+        if (cost < base_cost) {
+          report.stable = false;
+          report.deviator = u;
+          report.improving_strategy = trial;
+          report.old_cost = base_cost;
+          report.new_cost = cost;
+          return report;
+        }
+      }
+    }
+  }
+  report.stable = true;
+  return report;
+}
+
+std::uint32_t count_lemma22_certified(const Digraph& g) {
+  const UGraph u = g.underlying();
+  const std::uint32_t n = g.num_vertices();
+  std::uint32_t certified = 0;
+  BfsRunner runner(n);
+  for (Vertex v = 0; v < n; ++v) {
+    runner.run(u, v);
+    if (runner.reached() != n) continue;  // disconnected ⇒ lemma inapplicable
+    const std::uint32_t locdiam = runner.max_dist();
+    if (locdiam <= 1) {
+      ++certified;
+    } else if (locdiam == 2 && !g.in_brace(v)) {
+      ++certified;
+    }
+  }
+  return certified;
+}
+
+}  // namespace bbng

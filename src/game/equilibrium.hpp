@@ -1,0 +1,47 @@
+// Equilibrium verification.
+//
+// verify_equilibrium() certifies a realization as a pure Nash equilibrium by
+// computing every player's exact best response (so it is only feasible when
+// every player's candidate count fits the solver's exact limit).
+// verify_swap_equilibrium() checks the weaker single-head-swap stability of
+// Section 6 (every Nash equilibrium is also a swap equilibrium), which is
+// polynomial and scales to the large constructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/best_response.hpp"
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+struct EquilibriumReport {
+  bool stable = false;
+  Vertex deviator = 0;                      ///< first player with an improvement
+  std::vector<Vertex> improving_strategy;   ///< their cheaper strategy
+  std::uint64_t old_cost = 0;
+  std::uint64_t new_cost = 0;
+  std::uint64_t strategies_checked = 0;
+};
+
+/// Exact Nash check. Throws if some player's candidate space exceeds the
+/// solver's exact limit.
+[[nodiscard]] EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
+                                                   std::uint64_t exact_limit = 2'000'000,
+                                                   ThreadPool* pool = nullptr);
+
+/// Swap-stability check (single-head deviations only). Polynomial:
+/// O(Σ_u b_u · n) strategy evaluations.
+[[nodiscard]] EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
+                                                        ThreadPool* pool = nullptr);
+
+/// Lemma 2.2 sufficient condition: cMAX(u) == 1, or cMAX(u) ≤ 2 with u in no
+/// brace ⇒ u is playing a best response in BOTH versions. Returns the number
+/// of players certified by the lemma (n ⇒ the graph is an equilibrium in
+/// both versions without any search).
+[[nodiscard]] std::uint32_t count_lemma22_certified(const Digraph& g);
+
+}  // namespace bbng

@@ -1,0 +1,151 @@
+#include "game/folding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+
+namespace bbng {
+
+std::uint64_t WeightedGame::total_weight() const {
+  return std::accumulate(weight.begin(), weight.end(), std::uint64_t{0});
+}
+
+WeightedGame WeightedGame::uniform(Digraph g) {
+  WeightedGame game;
+  game.weight.assign(g.num_vertices(), 1);
+  game.graph = std::move(g);
+  return game;
+}
+
+std::uint64_t weighted_cost(const WeightedGame& game, Vertex u) {
+  const std::uint32_t n = game.num_vertices();
+  BBNG_REQUIRE(u < n);
+  BBNG_REQUIRE(game.weight.size() == n);
+  const UGraph g = game.graph.underlying();
+  BfsRunner runner(n);
+  runner.run(g, u);
+  const std::uint64_t inf = cinf(n);
+  std::uint64_t cost = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == u) continue;
+    const std::uint32_t d = runner.dist(v);
+    cost += game.weight[v] * (d == kUnreachable ? inf : d);
+  }
+  return cost;
+}
+
+namespace {
+
+/// Weighted cost of u after replacing its arc u→old_head with u→new_head.
+std::uint64_t cost_after_swap(const WeightedGame& game, Vertex u, Vertex old_head,
+                              Vertex new_head) {
+  WeightedGame trial = game;
+  trial.graph.remove_arc(u, old_head);
+  trial.graph.add_arc(u, new_head);
+  return weighted_cost(trial, u);
+}
+
+}  // namespace
+
+bool is_weak_equilibrium(const WeightedGame& game) {
+  const std::uint32_t n = game.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    const std::uint64_t base = weighted_cost(game, u);
+    // Copy: the adjacency span would dangle across set_strategy calls.
+    const std::vector<Vertex> heads(game.graph.out_neighbors(u).begin(),
+                                    game.graph.out_neighbors(u).end());
+    for (const Vertex head : heads) {
+      for (Vertex x = 0; x < n; ++x) {
+        if (x == u || x == head || game.graph.has_arc(u, x)) continue;
+        if (cost_after_swap(game, u, head, x) < base) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Vertex> poor_leaves(const WeightedGame& game) {
+  std::vector<Vertex> leaves;
+  for (Vertex v = 0; v < game.num_vertices(); ++v) {
+    if (game.graph.multi_degree(v) == 1 && game.graph.out_degree(v) == 0) leaves.push_back(v);
+  }
+  return leaves;
+}
+
+std::vector<Vertex> rich_leaves(const WeightedGame& game) {
+  std::vector<Vertex> leaves;
+  for (Vertex v = 0; v < game.num_vertices(); ++v) {
+    if (game.graph.multi_degree(v) == 1 && game.graph.out_degree(v) == 1) leaves.push_back(v);
+  }
+  return leaves;
+}
+
+FoldResult fold_poor_leaf(const WeightedGame& game, Vertex leaf) {
+  const std::uint32_t n = game.num_vertices();
+  BBNG_REQUIRE(leaf < n);
+  BBNG_REQUIRE_MSG(game.graph.multi_degree(leaf) == 1 && game.graph.out_degree(leaf) == 0,
+                   "vertex is not a poor leaf");
+  // The unique supporting arc is support → leaf.
+  Vertex support = kUnreachable;
+  for (Vertex w = 0; w < n; ++w) {
+    if (w != leaf && game.graph.has_arc(w, leaf)) {
+      support = w;
+      break;
+    }
+  }
+  BBNG_ASSERT(support != kUnreachable);
+
+  FoldResult result;
+  result.old_to_new.assign(n, FoldResult::kFolded);
+  Vertex next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != leaf) result.old_to_new[v] = next++;
+  }
+  result.folded_into = result.old_to_new[support];
+
+  Digraph folded(n - 1);
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == leaf) continue;
+    for (const Vertex v : game.graph.out_neighbors(u)) {
+      if (v == leaf) continue;  // drops exactly the arc support→leaf
+      folded.add_arc(result.old_to_new[u], result.old_to_new[v]);
+    }
+  }
+  result.game.graph = std::move(folded);
+  result.game.weight.assign(n - 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != leaf) result.game.weight[result.old_to_new[v]] = game.weight[v];
+  }
+  result.game.weight[result.folded_into] += game.weight[leaf];
+  return result;
+}
+
+WeightedGame fold_all_poor_leaves(WeightedGame game, std::uint64_t* folds_out) {
+  std::uint64_t folds = 0;
+  while (true) {
+    const auto leaves = poor_leaves(game);
+    if (leaves.empty()) break;
+    game = fold_poor_leaf(game, leaves.front()).game;
+    ++folds;
+  }
+  if (folds_out != nullptr) *folds_out = folds;
+  return game;
+}
+
+std::uint32_t max_rich_leaf_distance(const WeightedGame& game) {
+  const auto leaves = rich_leaves(game);
+  if (leaves.size() < 2) return 0;
+  const UGraph g = game.graph.underlying();
+  BfsRunner runner(game.num_vertices());
+  std::uint32_t best = 0;
+  for (const Vertex a : leaves) {
+    runner.run(g, a);
+    for (const Vertex b : leaves) {
+      if (b != a && runner.dist(b) != kUnreachable) best = std::max(best, runner.dist(b));
+    }
+  }
+  return best;
+}
+
+}  // namespace bbng

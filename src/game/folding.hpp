@@ -1,0 +1,66 @@
+// Section 6 machinery: weighted games, weak equilibria, and leaf folding.
+//
+// The 2^O(√log n) diameter proof (Theorem 6.9) manipulates *weighted weak
+// equilibrium graphs*: vertex weights w : V → Z+, cost
+// c(u) = Σ_v w(v)·dist(u,v), and only single-arc swaps as deviations. Poor
+// leaves (degree 1, outdegree 0) are folded into their supporting vertex —
+// an operation that preserves weak equilibrium (used by Corollary 6.3) —
+// while rich leaves (degree 1, outdegree 1) stay within distance 2 of each
+// other (Lemma 6.4). This module implements those objects so the bench
+// harness and property tests can validate the lemmas on real equilibria.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+struct WeightedGame {
+  Digraph graph{1};
+  std::vector<std::uint64_t> weight;  ///< positive integers
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return graph.num_vertices(); }
+  [[nodiscard]] std::uint64_t total_weight() const;
+
+  /// All weights 1 — the unweighted game embeds as this.
+  [[nodiscard]] static WeightedGame uniform(Digraph g);
+};
+
+/// c(u) = Σ_v w(v)·dist(u,v); unreachable pairs charge w(v)·Cinf.
+[[nodiscard]] std::uint64_t weighted_cost(const WeightedGame& game, Vertex u);
+
+/// Weak equilibrium: no single-arc swap (replace one owned head) lowers the
+/// owner's weighted cost. Every Nash equilibrium is a weak equilibrium.
+[[nodiscard]] bool is_weak_equilibrium(const WeightedGame& game);
+
+/// Leaf classification in the underlying *multigraph* (degree counts braces
+/// twice, so a brace endpoint is never a leaf).
+[[nodiscard]] std::vector<Vertex> poor_leaves(const WeightedGame& game);  ///< outdeg 0
+[[nodiscard]] std::vector<Vertex> rich_leaves(const WeightedGame& game);  ///< outdeg 1
+
+struct FoldResult {
+  WeightedGame game;                    ///< leaf removed, weight folded
+  std::vector<std::uint32_t> old_to_new;  ///< kFolded for the removed leaf
+  Vertex folded_into = 0;               ///< new id of the absorbing vertex
+  static constexpr std::uint32_t kFolded = 0xffffffffU;
+};
+
+/// Fold the poor leaf `leaf` into its unique neighbour (Section 6): remove
+/// the leaf, add its weight to the neighbour. Precondition: `leaf` is a poor
+/// leaf.
+[[nodiscard]] FoldResult fold_poor_leaf(const WeightedGame& game, Vertex leaf);
+
+/// Fold until no poor leaf remains (Corollary 6.3). Returns the final game;
+/// `folds_out`, if given, receives the number of folds performed.
+[[nodiscard]] WeightedGame fold_all_poor_leaves(WeightedGame game,
+                                                std::uint64_t* folds_out = nullptr);
+
+/// Max distance between any two rich leaves (0 if fewer than two exist) —
+/// Lemma 6.4 asserts ≤ 2 on weak equilibria.
+[[nodiscard]] std::uint32_t max_rich_leaf_distance(const WeightedGame& game);
+
+}  // namespace bbng

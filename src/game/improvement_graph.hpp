@@ -1,0 +1,42 @@
+// Ground truth for the Section 8 convergence question on small games.
+//
+// The improvement graph has one node per strategy profile and an arc
+// P → P' whenever some player strictly improves by deviating from its
+// strategy in P to its (lexicographically smallest) best response, yielding
+// P'. Best-response dynamics is exactly a walk in this graph, so:
+//
+//   * sinks  = Nash equilibria;
+//   * the dynamics can cycle  ⇔  the improvement graph has a directed cycle;
+//   * max_path_to_sink bounds the number of moves any best-response sequence
+//     needs (when the graph is acyclic).
+//
+// The profile space is Π C(n-1, b_i), so this is for tiny games only — but
+// it turns "no cycle was observed" into "no cycle exists" for those games.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.hpp"
+
+namespace bbng {
+
+struct ImprovementGraphAnalysis {
+  std::uint64_t states = 0;        ///< profiles
+  std::uint64_t transitions = 0;   ///< improving best-response moves
+  std::uint64_t sinks = 0;         ///< Nash equilibria
+  bool has_cycle = false;          ///< dynamics could loop
+  /// Longest improving path ending in a sink (acyclic case only; 0 if the
+  /// graph has a cycle). An upper bound on moves-to-convergence.
+  std::uint64_t max_moves_to_sink = 0;
+  /// True iff every non-sink state has at least one outgoing move (always
+  /// true by construction; kept as an internal consistency check).
+  bool every_non_sink_moves = false;
+};
+
+/// Build and analyse the improvement graph. Throws when the profile space
+/// exceeds `limit`.
+[[nodiscard]] ImprovementGraphAnalysis analyze_improvement_graph(
+    const BudgetGame& game, CostVersion version, std::uint64_t limit = 200'000);
+
+}  // namespace bbng

@@ -1,0 +1,84 @@
+#include "game/strategy_eval.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+
+namespace bbng {
+
+StrategyEvaluator::StrategyEvaluator(const Digraph& g, Vertex player, CostVersion version)
+    : player_(player), version_(version), n_(g.num_vertices()), base_(g.num_vertices()) {
+  BBNG_REQUIRE(player < n_);
+
+  // base_ = underlying(G) without any edge incident to `player`.
+  for (Vertex u = 0; u < n_; ++u) {
+    for (const Vertex v : g.out_neighbors(u)) {
+      if (u == player_ || v == player_) continue;
+      if (!base_.has_edge(u, v)) base_.add_edge(u, v);
+    }
+  }
+  for (Vertex w = 0; w < n_; ++w) {
+    if (w != player_ && g.has_arc(w, player_)) in_neighbors_.push_back(w);
+  }
+
+  const Components comps = connected_components(base_);
+  comp_ = comps.id;
+  BBNG_ASSERT(comps.count >= 1);
+  base_components_ = comps.count - 1;  // player_ is an isolated singleton in base_
+
+  current_strategy_.assign(g.out_neighbors(player_).begin(), g.out_neighbors(player_).end());
+  Scratch scratch(n_);
+  current_cost_ = evaluate(current_strategy_, scratch);
+}
+
+std::uint64_t StrategyEvaluator::evaluate(std::span<const Vertex> strategy,
+                                          Scratch& scratch) const {
+  const std::uint64_t inf = cinf(n_);
+
+  // Seeds = strategy heads ∪ in-neighbours; all at distance 1 from player.
+  scratch.seeds.clear();
+  for (const Vertex s : strategy) {
+    BBNG_REQUIRE_MSG(s != player_, "strategy head equals the player");
+    BBNG_REQUIRE(s < n_);
+    scratch.seeds.push_back(s);
+  }
+  scratch.seeds.insert(scratch.seeds.end(), in_neighbors_.begin(), in_neighbors_.end());
+
+  if (scratch.seeds.empty()) {
+    // Player is completely isolated: κ = base components + its own.
+    if (version_ == CostVersion::Sum) return static_cast<std::uint64_t>(n_ - 1) * inf;
+    const std::uint64_t kappa = base_components_ + 1;
+    return n_ == 1 ? 0 : inf + (kappa - 1) * inf;
+  }
+
+  // Count how many base components the seeds touch (epoch-stamped marks
+  // avoid clearing the array on every evaluation).
+  ++scratch.epoch;
+  std::uint32_t seeded_components = 0;
+  for (const Vertex s : scratch.seeds) {
+    const std::uint32_t c = comp_[s];
+    if (scratch.comp_hit[c] != scratch.epoch) {
+      scratch.comp_hit[c] = scratch.epoch;
+      ++seeded_components;
+    }
+  }
+  const std::uint32_t unseeded = base_components_ - seeded_components;
+
+  scratch.runner.run_multi(base_, scratch.seeds);
+
+  if (version_ == CostVersion::Sum) {
+    // dist(player, v) = dist_base(seeds, v) + 1 for every reached v (the
+    // player itself is isolated in base_, hence never counted).
+    const std::uint64_t reached = scratch.runner.reached();
+    const std::uint64_t unreached = n_ - 1 - reached;
+    return scratch.runner.sum_dist() + reached + unreached * inf;
+  }
+
+  if (unseeded == 0) {
+    return scratch.runner.max_dist() + 1;  // local diameter; κ == 1
+  }
+  const std::uint64_t kappa = 1 + unseeded;
+  return inf + (kappa - 1) * inf;
+}
+
+}  // namespace bbng

@@ -1,0 +1,71 @@
+// Fast evaluation of candidate strategies for one player.
+//
+// To score a candidate strategy S of player u we do NOT rebuild the
+// realization: since every u–v path starts with an edge from u to one of its
+// neighbours, and a shortest path never revisits u,
+//
+//     dist_{G[u←S]}(u, v) = 1 + dist_{G−u}(s, v)  minimised over
+//     s ∈ S ∪ In(u),
+//
+// where G−u drops vertex u and In(u) is the (fixed) set of players pointing
+// at u. So we precompute H = underlying(G) − u once and score each candidate
+// with a single multi-source BFS on H. Component bookkeeping for the MAX
+// version's (κ−1)n² term is also precomputed: κ(G[u←S]) = 1 + number of
+// H-components (other than u's empty slot) containing no seed.
+//
+// evaluate() is const and takes an external scratch object, so the exact
+// solver can score candidates from many threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/game.hpp"
+#include "graph/bfs.hpp"
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+class StrategyEvaluator {
+ public:
+  /// Scratch space; one per thread.
+  struct Scratch {
+    explicit Scratch(std::uint32_t n) : runner(n) { seeds.reserve(n); comp_hit.assign(n, 0); }
+    BfsRunner runner;
+    std::vector<Vertex> seeds;
+    std::vector<std::uint32_t> comp_hit;  // epoch-stamped seed-component marks
+    std::uint32_t epoch = 0;
+  };
+
+  StrategyEvaluator(const Digraph& g, Vertex player, CostVersion version);
+
+  [[nodiscard]] Vertex player() const noexcept { return player_; }
+  [[nodiscard]] CostVersion version() const noexcept { return version_; }
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return n_; }
+
+  /// Cost of `player` if it plays `strategy` (heads distinct, ≠ player).
+  [[nodiscard]] std::uint64_t evaluate(std::span<const Vertex> strategy, Scratch& scratch) const;
+
+  /// Cost of the player's current strategy in the original realization.
+  [[nodiscard]] std::uint64_t current_cost() const noexcept { return current_cost_; }
+
+  /// The player's current strategy (sorted heads).
+  [[nodiscard]] const std::vector<Vertex>& current_strategy() const noexcept {
+    return current_strategy_;
+  }
+
+ private:
+  Vertex player_;
+  CostVersion version_;
+  std::uint32_t n_;
+  UGraph base_;                        ///< underlying(G) with `player` isolated
+  std::vector<Vertex> in_neighbors_;   ///< players with an arc to `player`
+  std::vector<std::uint32_t> comp_;    ///< component ids of base_ (player excluded)
+  std::uint32_t base_components_ = 0;  ///< #components of base_ − player's singleton
+  std::vector<Vertex> current_strategy_;
+  std::uint64_t current_cost_ = 0;
+};
+
+}  // namespace bbng

@@ -1,0 +1,68 @@
+// Breadth-first search primitives.
+//
+// BFS is the inner loop of everything in this library (costs, eccentricity
+// sweeps, best-response evaluation), so a reusable scratch object
+// (BfsRunner) avoids re-allocating the queue and distance array on every
+// call — the exact best-response solver performs millions of BFS runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+/// Sentinel distance for vertices in a different component.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Reusable BFS scratch space bound to a fixed vertex count.
+class BfsRunner {
+ public:
+  explicit BfsRunner(std::uint32_t n) : dist_(n), queue_(n) {}
+
+  /// Single-source BFS; distances stored internally (see dist()).
+  void run(const UGraph& g, Vertex source);
+
+  /// Multi-source BFS: dist(v) = min over sources of d(source, v).
+  void run_multi(const UGraph& g, std::span<const Vertex> sources);
+
+  /// Single-source BFS that stops once `target_radius` levels are explored;
+  /// vertices beyond it keep kUnreachable. Used for ball queries B_r(u).
+  void run_bounded(const UGraph& g, Vertex source, std::uint32_t target_radius);
+
+  [[nodiscard]] std::span<const std::uint32_t> dist() const noexcept {
+    return {dist_.data(), dist_.size()};
+  }
+  [[nodiscard]] std::uint32_t dist(Vertex v) const {
+    BBNG_ASSERT(v < dist_.size());
+    return dist_[v];
+  }
+
+  /// Number of vertices reached by the last run (including sources).
+  [[nodiscard]] std::uint32_t reached() const noexcept { return reached_; }
+
+  /// Max finite distance found by the last run (0 if only sources reached).
+  [[nodiscard]] std::uint32_t max_dist() const noexcept { return max_dist_; }
+
+  /// Sum of finite distances found by the last run.
+  [[nodiscard]] std::uint64_t sum_dist() const noexcept { return sum_dist_; }
+
+ private:
+  void reset();
+
+  std::vector<std::uint32_t> dist_;
+  std::vector<Vertex> queue_;
+  std::uint32_t reached_ = 0;
+  std::uint32_t max_dist_ = 0;
+  std::uint64_t sum_dist_ = 0;
+};
+
+/// One-shot conveniences (allocate per call).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const UGraph& g, Vertex source);
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances_multi(const UGraph& g,
+                                                             std::span<const Vertex> sources);
+
+}  // namespace bbng

@@ -1,0 +1,39 @@
+// Components and exact vertex connectivity.
+//
+// κ(G) drives the Section 7 experiments (Theorem 7.2: min budget ≥ k ⇒ SUM
+// equilibria are k-connected or have diameter < 4). Vertex connectivity is
+// computed exactly with node-splitting max-flow; the candidate-pair set uses
+// the classical observation that for a minimum vertex cut C and any vertex
+// set D with |D| > |C|, some vertex of D avoids C — so scanning s over
+// {v} ∪ N(v) for a minimum-degree vertex v suffices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Component id per vertex (ids are 0-based, assigned in discovery order).
+struct Components {
+  std::vector<std::uint32_t> id;
+  std::uint32_t count = 0;
+};
+
+[[nodiscard]] Components connected_components(const UGraph& g);
+[[nodiscard]] bool is_connected(const UGraph& g);
+
+/// Max number of internally vertex-disjoint u–v paths for non-adjacent u,v
+/// (Menger); computed with node-splitting Dinic.
+[[nodiscard]] std::uint32_t local_vertex_connectivity(const UGraph& g, Vertex s, Vertex t);
+
+/// Exact κ(G). Conventions: complete graph K_n → n-1; disconnected → 0;
+/// n ≤ 1 → 0.
+[[nodiscard]] std::uint32_t vertex_connectivity(const UGraph& g, ThreadPool* pool = nullptr);
+
+/// κ(G) ≥ k without computing κ exactly (early-outs on the k-th flow unit).
+[[nodiscard]] bool is_k_connected(const UGraph& g, std::uint32_t k, ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,87 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+
+namespace bbng {
+
+std::vector<Vertex> functional_cycle(const Digraph& g, Vertex start) {
+  BBNG_REQUIRE(start < g.num_vertices());
+  // Walk successor pointers, stamping visit order; the first revisited
+  // vertex starts the cycle.
+  std::vector<std::uint32_t> visit_order(g.num_vertices(), 0xffffffffU);
+  std::vector<Vertex> walk;
+  Vertex u = start;
+  while (visit_order[u] == 0xffffffffU) {
+    visit_order[u] = static_cast<std::uint32_t>(walk.size());
+    walk.push_back(u);
+    BBNG_REQUIRE_MSG(g.out_degree(u) == 1, "functional_cycle requires outdegree 1 on the walk");
+    u = g.out_neighbors(u)[0];
+  }
+  return {walk.begin() + visit_order[u], walk.end()};
+}
+
+std::vector<Vertex> peel_to_core(const Digraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  // Multigraph degrees: every arc contributes to both endpoints; a brace
+  // therefore adds 2 to each of its endpoints.
+  std::vector<std::uint32_t> degree(n, 0);
+  std::vector<std::vector<Vertex>> adj(n);  // with multiplicity
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.out_neighbors(u)) {
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+      ++degree[u];
+      ++degree[v];
+    }
+  }
+  std::vector<Vertex> stack;
+  std::vector<bool> removed(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (degree[v] <= 1) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    if (removed[v] || degree[v] > 1) continue;
+    removed[v] = true;
+    for (const Vertex w : adj[v]) {
+      if (removed[w]) continue;
+      if (--degree[w] == 1) stack.push_back(w);
+    }
+  }
+  std::vector<Vertex> core;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!removed[v]) core.push_back(v);
+  }
+  return core;
+}
+
+std::vector<std::uint32_t> distances_to_set(const UGraph& g, std::span<const Vertex> set) {
+  return bfs_distances_multi(g, set);
+}
+
+UnicyclicProfile analyze_unicyclic(const Digraph& g) {
+  UnicyclicProfile profile;
+  const std::uint32_t n = g.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    BBNG_REQUIRE_MSG(g.out_degree(v) == 1, "analyze_unicyclic requires all outdegrees == 1");
+  }
+  const UGraph u = g.underlying();
+  profile.connected = is_connected(u);
+  if (!profile.connected) return profile;
+
+  profile.cycle = functional_cycle(g, 0);
+  profile.cycle_length = static_cast<std::uint32_t>(profile.cycle.size());
+  // With n arcs on n vertices and connectivity, the functional cycle is the
+  // unique cycle of the underlying multigraph.
+  profile.unicyclic = true;
+
+  const auto dist = distances_to_set(u, profile.cycle);
+  profile.max_dist_to_cycle = *std::max_element(dist.begin(), dist.end());
+  return profile;
+}
+
+}  // namespace bbng

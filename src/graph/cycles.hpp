@@ -1,0 +1,47 @@
+// Cycle structure analysis for the Section 4 experiments.
+//
+// In a (1,…,1)-BG realization every vertex owns exactly one arc, so the
+// digraph is a *functional graph*: each weakly-connected component contains
+// exactly one directed cycle (a brace counts as a 2-cycle). Theorems 4.1 and
+// 4.2 bound the cycle length (≤5 SUM, ≤7 MAX) and how far vertices sit from
+// it (≤1 / ≤2); these routines extract exactly those statistics.
+//
+// For general digraphs, peel_to_core() peels degree-1 vertices of the
+// underlying *multigraph* (braces keep multiplicity 2, so a brace is a core)
+// — a connected graph with n arcs has a unique cycle and the peel exposes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+/// The unique directed cycle of the functional component containing `start`
+/// (requires out_degree == 1 along the walk). Returned in walk order.
+[[nodiscard]] std::vector<Vertex> functional_cycle(const Digraph& g, Vertex start);
+
+/// Vertices of the 2-core of the underlying multigraph (each arc contributes
+/// one undirected edge; a brace contributes two parallel edges). For a
+/// connected digraph with num_arcs == num_vertices this is its unique cycle.
+[[nodiscard]] std::vector<Vertex> peel_to_core(const Digraph& g);
+
+/// Per-vertex distance (in the underlying graph) to the given vertex set.
+[[nodiscard]] std::vector<std::uint32_t> distances_to_set(const UGraph& g,
+                                                          std::span<const Vertex> set);
+
+/// Summary of the unicyclic structure mandated by Theorems 4.1 / 4.2.
+struct UnicyclicProfile {
+  bool connected = false;
+  bool unicyclic = false;            ///< exactly one cycle (brace counts)
+  std::uint32_t cycle_length = 0;    ///< 2 for a brace
+  std::uint32_t max_dist_to_cycle = 0;
+  std::vector<Vertex> cycle;
+};
+
+/// Analyse a realization where every vertex has outdegree exactly 1.
+[[nodiscard]] UnicyclicProfile analyze_unicyclic(const Digraph& g);
+
+}  // namespace bbng

@@ -1,0 +1,110 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "graph/ugraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+bool Digraph::has_arc(Vertex u, Vertex v) const {
+  BBNG_ASSERT(u < out_.size() && v < out_.size());
+  const auto& heads = out_[u];
+  return std::binary_search(heads.begin(), heads.end(), v);
+}
+
+void Digraph::add_arc(Vertex u, Vertex v) {
+  BBNG_REQUIRE(u < out_.size() && v < out_.size());
+  BBNG_REQUIRE_MSG(u != v, "self-loops are not in the strategy space");
+  auto& heads = out_[u];
+  const auto it = std::lower_bound(heads.begin(), heads.end(), v);
+  BBNG_REQUIRE_MSG(it == heads.end() || *it != v, "duplicate arc");
+  heads.insert(it, v);
+  ++num_arcs_;
+}
+
+void Digraph::remove_arc(Vertex u, Vertex v) {
+  BBNG_REQUIRE(u < out_.size() && v < out_.size());
+  auto& heads = out_[u];
+  const auto it = std::lower_bound(heads.begin(), heads.end(), v);
+  BBNG_REQUIRE_MSG(it != heads.end() && *it == v, "arc not present");
+  heads.erase(it);
+  --num_arcs_;
+}
+
+void Digraph::set_strategy(Vertex u, std::span<const Vertex> heads) {
+  BBNG_REQUIRE(u < out_.size());
+  std::vector<Vertex> sorted(heads.begin(), heads.end());
+  std::sort(sorted.begin(), sorted.end());
+  BBNG_REQUIRE_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                   "strategy contains duplicate heads");
+  for (const Vertex v : sorted) {
+    BBNG_REQUIRE(v < out_.size());
+    BBNG_REQUIRE_MSG(v != u, "self-loops are not in the strategy space");
+  }
+  num_arcs_ -= out_[u].size();
+  out_[u] = std::move(sorted);
+  num_arcs_ += out_[u].size();
+}
+
+std::vector<std::uint32_t> Digraph::budgets() const {
+  std::vector<std::uint32_t> result(out_.size());
+  for (std::size_t u = 0; u < out_.size(); ++u) {
+    result[u] = static_cast<std::uint32_t>(out_[u].size());
+  }
+  return result;
+}
+
+bool Digraph::in_brace(Vertex u) const {
+  BBNG_ASSERT(u < out_.size());
+  for (const Vertex v : out_[u]) {
+    if (has_arc(v, u)) return true;
+  }
+  return false;
+}
+
+std::uint64_t Digraph::brace_count() const {
+  std::uint64_t count = 0;
+  for (Vertex u = 0; u < out_.size(); ++u) {
+    for (const Vertex v : out_[u]) {
+      if (v > u && has_arc(v, u)) ++count;
+    }
+  }
+  return count;
+}
+
+UGraph Digraph::underlying() const {
+  UGraph g(num_vertices());
+  for (Vertex u = 0; u < out_.size(); ++u) {
+    for (const Vertex v : out_[u]) {
+      if (!g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+std::uint32_t Digraph::multi_degree(Vertex u) const {
+  BBNG_ASSERT(u < out_.size());
+  auto degree = static_cast<std::uint32_t>(out_[u].size());
+  for (Vertex w = 0; w < out_.size(); ++w) {
+    if (w != u && has_arc(w, u)) ++degree;
+  }
+  return degree;
+}
+
+std::uint64_t Digraph::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ (static_cast<std::uint64_t>(out_.size()) << 32);
+  for (Vertex u = 0; u < out_.size(); ++u) {
+    std::uint64_t row = u + 1;
+    for (const Vertex v : out_[u]) {
+      std::uint64_t x = (static_cast<std::uint64_t>(u) << 32) | v;
+      row ^= splitmix64(x);
+      row *= 0x100000001b3ULL;
+    }
+    h ^= row;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bbng

@@ -1,0 +1,90 @@
+// Ownership-aware directed graph — the realization of a strategy profile.
+//
+// In a (b1,…,bn)-BG game, player i owns exactly b_i outgoing arcs (its
+// strategy S_i). A Digraph stores, per vertex, the sorted list of arc heads
+// it owns. Both u→v and v→u may be present simultaneously — the paper calls
+// the pair a *brace* and it behaves as a 2-cycle in the underlying
+// multigraph — but duplicate arcs u→v and self-loops are rejected, matching
+// the strategy space S_i ⊆ {1..n}\{i}.
+//
+// The adjacency lists are kept sorted, so structural equality and hashing
+// are canonical; the dynamics engine uses hash() to detect improvement
+// cycles (the Section 8 open problem).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+using Vertex = std::uint32_t;
+
+class UGraph;  // forward; see ugraph.hpp
+
+class Digraph {
+ public:
+  explicit Digraph(std::uint32_t n) : out_(n) {}
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(out_.size());
+  }
+  [[nodiscard]] std::uint64_t num_arcs() const noexcept { return num_arcs_; }
+
+  [[nodiscard]] bool has_arc(Vertex u, Vertex v) const;
+
+  /// Add the arc u→v owned by u. Precondition: u≠v, arc not already present.
+  void add_arc(Vertex u, Vertex v);
+
+  /// Remove the arc u→v. Precondition: the arc exists.
+  void remove_arc(Vertex u, Vertex v);
+
+  /// Replace u's entire strategy (its owned arc heads). Heads must be
+  /// distinct and ≠ u. This is the move primitive of the game.
+  void set_strategy(Vertex u, std::span<const Vertex> heads);
+
+  [[nodiscard]] std::span<const Vertex> out_neighbors(Vertex u) const {
+    BBNG_ASSERT(u < out_.size());
+    return {out_[u].data(), out_[u].size()};
+  }
+
+  [[nodiscard]] std::uint32_t out_degree(Vertex u) const {
+    BBNG_ASSERT(u < out_.size());
+    return static_cast<std::uint32_t>(out_[u].size());
+  }
+
+  /// The budget vector realised by this graph (b_i = outdegree of i).
+  [[nodiscard]] std::vector<std::uint32_t> budgets() const;
+
+  /// True iff both u→v and v→u are present (a brace / 2-cycle).
+  [[nodiscard]] bool is_brace(Vertex u, Vertex v) const {
+    return has_arc(u, v) && has_arc(v, u);
+  }
+
+  /// True iff u is an endpoint of any brace (Lemma 2.2's precondition).
+  [[nodiscard]] bool in_brace(Vertex u) const;
+
+  /// Total number of braces in the graph.
+  [[nodiscard]] std::uint64_t brace_count() const;
+
+  /// Underlying undirected simple graph (multiplicities collapsed; distances
+  /// are unaffected by multiplicity).
+  [[nodiscard]] UGraph underlying() const;
+
+  /// Degree of u in the underlying *multigraph* (in-degree + out-degree,
+  /// braces counted twice). Used by the structural theorems of Section 4.
+  [[nodiscard]] std::uint32_t multi_degree(Vertex u) const;
+
+  /// Order-independent structural hash (same arcs ⇒ same hash).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend bool operator==(const Digraph& a, const Digraph& b) { return a.out_ == b.out_; }
+
+ private:
+  std::vector<std::vector<Vertex>> out_;
+  std::uint64_t num_arcs_ = 0;
+};
+
+}  // namespace bbng

@@ -1,0 +1,123 @@
+#include "graph/distances.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+
+namespace bbng {
+
+EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  EccentricityResult result;
+  result.ecc.assign(n, kUnreachable);
+  if (n == 0) {
+    result.connected = true;
+    return result;
+  }
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+
+  std::atomic<bool> connected{true};
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    BfsRunner runner(n);
+    for (std::uint64_t u = begin; u < end; ++u) {
+      runner.run(g, static_cast<Vertex>(u));
+      if (runner.reached() != n) {
+        connected.store(false, std::memory_order_relaxed);
+      } else {
+        result.ecc[u] = runner.max_dist();
+      }
+    }
+  };
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+
+  result.connected = connected.load(std::memory_order_relaxed);
+  if (!result.connected) {
+    result.diameter = kUnreachable;
+    result.radius = kUnreachable;
+    std::fill(result.ecc.begin(), result.ecc.end(), kUnreachable);
+    return result;
+  }
+  result.diameter = *std::max_element(result.ecc.begin(), result.ecc.end());
+  result.radius = *std::min_element(result.ecc.begin(), result.ecc.end());
+  return result;
+}
+
+std::uint32_t diameter(const UGraph& g, ThreadPool* pool) {
+  return eccentricities(g, pool).diameter;
+}
+
+std::uint32_t diameter_lower_bound(const UGraph& g, std::uint32_t samples, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  if (n == 0) return 0;
+  BfsRunner runner(n);
+  std::uint32_t best = 0;
+  Vertex source = static_cast<Vertex>(rng.next_below(n));
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    runner.run(g, source);
+    if (runner.reached() != n) return kUnreachable;
+    best = std::max(best, runner.max_dist());
+    // Double sweep: restart from a farthest vertex; tie-break randomly.
+    std::vector<Vertex> farthest;
+    for (Vertex v = 0; v < n; ++v) {
+      if (runner.dist(v) == runner.max_dist()) farthest.push_back(v);
+    }
+    source = farthest[rng.next_below(farthest.size())];
+  }
+  return best;
+}
+
+std::uint32_t eccentricity(const UGraph& g, Vertex u) {
+  BfsRunner runner(g.num_vertices());
+  runner.run(g, u);
+  if (runner.reached() != g.num_vertices()) return kUnreachable;
+  return runner.max_dist();
+}
+
+std::uint64_t sum_of_distances(const UGraph& g, Vertex u, std::uint64_t cinf) {
+  BfsRunner runner(g.num_vertices());
+  runner.run(g, u);
+  const std::uint64_t missing = g.num_vertices() - runner.reached();
+  return runner.sum_dist() + missing * cinf;
+}
+
+std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::vector<std::uint32_t>> matrix(n);
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    BfsRunner runner(n);
+    for (std::uint64_t u = begin; u < end; ++u) {
+      runner.run(g, static_cast<Vertex>(u));
+      matrix[u].assign(runner.dist().begin(), runner.dist().end());
+    }
+  };
+  if (n > 0) exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  return matrix;
+}
+
+std::optional<double> average_distance(const UGraph& g, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return std::nullopt;
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  std::atomic<bool> connected{true};
+  std::atomic<std::uint64_t> total{0};
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    BfsRunner runner(n);
+    std::uint64_t local = 0;
+    for (std::uint64_t u = begin; u < end; ++u) {
+      runner.run(g, static_cast<Vertex>(u));
+      if (runner.reached() != n) connected.store(false, std::memory_order_relaxed);
+      local += runner.sum_dist();
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  if (!connected.load(std::memory_order_relaxed)) return std::nullopt;
+  const auto pairs = static_cast<double>(n) * (n - 1);
+  return static_cast<double>(total.load(std::memory_order_relaxed)) / pairs;
+}
+
+}  // namespace bbng

@@ -1,0 +1,54 @@
+// Distance aggregates: eccentricities, diameter, radius, distance sums.
+//
+// The eccentricity sweep (one BFS per vertex) is the dominant cost of the
+// bench harness at large n; it parallelises embarrassingly over sources and
+// runs on the shared ThreadPool. For very large graphs (the k=4 shift graph
+// has 65 536 vertices) a sampled variant gives a certified *lower* bound on
+// the diameter plus the exact eccentricity of the sampled vertices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/ugraph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+struct EccentricityResult {
+  std::vector<std::uint32_t> ecc;  ///< per-vertex eccentricity (kUnreachable if disconnected)
+  std::uint32_t diameter = 0;      ///< max finite ecc; kUnreachable if disconnected
+  std::uint32_t radius = 0;        ///< min ecc; kUnreachable if disconnected
+  bool connected = false;
+};
+
+/// Exact eccentricities via one BFS per vertex, parallel over sources.
+[[nodiscard]] EccentricityResult eccentricities(const UGraph& g,
+                                                ThreadPool* pool = nullptr);
+
+/// Exact diameter (kUnreachable if disconnected).
+[[nodiscard]] std::uint32_t diameter(const UGraph& g, ThreadPool* pool = nullptr);
+
+/// Diameter lower bound from `samples` BFS sweeps (double-sweep heuristic:
+/// each sample BFS restarts from the farthest vertex found). Exact on trees.
+[[nodiscard]] std::uint32_t diameter_lower_bound(const UGraph& g, std::uint32_t samples,
+                                                 Rng& rng);
+
+/// Eccentricity of a single vertex (kUnreachable if g disconnected from u).
+[[nodiscard]] std::uint32_t eccentricity(const UGraph& g, Vertex u);
+
+/// Sum over v of d(u,v), counting `cinf` for each unreachable vertex.
+[[nodiscard]] std::uint64_t sum_of_distances(const UGraph& g, Vertex u, std::uint64_t cinf);
+
+/// Full APSP matrix (row u = BFS from u); intended for small n only.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g,
+                                                           ThreadPool* pool = nullptr);
+
+/// Mean finite pairwise distance; nullopt if disconnected or n < 2.
+[[nodiscard]] std::optional<double> average_distance(const UGraph& g,
+                                                     ThreadPool* pool = nullptr);
+
+}  // namespace bbng

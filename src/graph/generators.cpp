@@ -1,0 +1,258 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/connectivity.hpp"
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Digraph path_digraph(std::uint32_t n) {
+  BBNG_REQUIRE(n > 0);
+  Digraph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_arc(v, v + 1);
+  return g;
+}
+
+Digraph cycle_digraph(std::uint32_t n) {
+  BBNG_REQUIRE(n >= 2);
+  Digraph g(n);
+  for (Vertex v = 0; v < n; ++v) g.add_arc(v, (v + 1) % n);
+  return g;
+}
+
+Digraph star_digraph(std::uint32_t n) {
+  BBNG_REQUIRE(n >= 1);
+  Digraph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_arc(0, v);
+  return g;
+}
+
+Digraph random_profile(const std::vector<std::uint32_t>& budgets, Rng& rng) {
+  const auto n = static_cast<std::uint32_t>(budgets.size());
+  Digraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    BBNG_REQUIRE_MSG(budgets[u] < n, "budget must be < n (strategy excludes self)");
+    // Sample b_u distinct targets from {0..n-1}\{u}.
+    auto targets = rng.sample(n - 1, budgets[u]);
+    std::vector<Vertex> heads;
+    heads.reserve(targets.size());
+    for (const std::uint32_t t : targets) heads.push_back(t >= u ? t + 1 : t);
+    g.set_strategy(u, heads);
+  }
+  return g;
+}
+
+std::vector<std::uint32_t> random_budgets(std::uint32_t n, std::uint64_t sigma, Rng& rng) {
+  BBNG_REQUIRE(n > 0);
+  BBNG_REQUIRE_MSG(sigma <= static_cast<std::uint64_t>(n) * (n - 1),
+                   "sigma exceeds the maximum total budget n(n-1)");
+  std::vector<std::uint32_t> budgets(n, 0);
+  for (std::uint64_t dealt = 0; dealt < sigma; ++dealt) {
+    // Deal one unit to a uniform player that still has headroom.
+    Vertex u;
+    do {
+      u = static_cast<Vertex>(rng.next_below(n));
+    } while (budgets[u] + 1 >= n);
+    ++budgets[u];
+  }
+  return budgets;
+}
+
+Digraph random_tree_digraph(std::uint32_t n, Rng& rng) {
+  BBNG_REQUIRE(n > 0);
+  Digraph g(n);
+  // Random attachment: vertex v links to a uniform earlier vertex, giving
+  // budgets (0,1,1,…,1) after relabelling — a Tree-BG instance.
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.next_below(v));
+    g.add_arc(v, parent);
+  }
+  return g;
+}
+
+UGraph erdos_renyi(std::uint32_t n, double p, Rng& rng) {
+  UGraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+UGraph connected_erdos_renyi(std::uint32_t n, double p, Rng& rng) {
+  BBNG_REQUIRE(n > 0);
+  UGraph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.next_below(v));
+    g.add_edge(v, parent);
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.next_bool(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+UGraph grid_graph(std::uint32_t rows, std::uint32_t cols) {
+  BBNG_REQUIRE(rows > 0 && cols > 0);
+  UGraph g(rows * cols);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+UGraph path_ugraph(std::uint32_t n) {
+  BBNG_REQUIRE(n > 0);
+  UGraph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+UGraph cycle_ugraph(std::uint32_t n) {
+  BBNG_REQUIRE(n >= 3);
+  UGraph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!g.has_edge(v, (v + 1) % n)) g.add_edge(v, (v + 1) % n);
+  }
+  return g;
+}
+
+UGraph complete_ugraph(std::uint32_t n) {
+  UGraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Digraph orient_with_positive_outdegree(const UGraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  Digraph d(n);
+  const auto key = [](Vertex a, Vertex b) {
+    const Vertex lo = std::min(a, b), hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  };
+  std::unordered_set<std::uint64_t> oriented;
+  oriented.reserve(g.num_edges() * 2);
+
+  const Components comps = connected_components(g);
+  std::vector<std::vector<Vertex>> members(comps.count);
+  for (Vertex v = 0; v < n; ++v) members[comps.id[v]].push_back(v);
+  std::vector<std::uint64_t> comp_edges(comps.count, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v > u) ++comp_edges[comps.id[u]];
+    }
+  }
+
+  std::vector<std::int64_t> parent(n, -1);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<bool> visited(n, false);
+
+  for (std::uint32_t c = 0; c < comps.count; ++c) {
+    const Vertex root = members[c].front();
+
+    if (comp_edges[c] + 1 == members[c].size()) {
+      // Tree component: orient child→parent toward the root. The root keeps
+      // outdegree 0 — unavoidable with |E| = |V| - 1.
+      std::vector<Vertex> queue{root};
+      visited[root] = true;
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        for (const Vertex v : g.neighbors(queue[qi])) {
+          if (visited[v]) continue;
+          visited[v] = true;
+          d.add_arc(v, queue[qi]);
+          oriented.insert(key(v, queue[qi]));
+          queue.push_back(v);
+        }
+      }
+      continue;
+    }
+
+    // Cyclic component: a DFS from root must hit a back edge. Close the
+    // cycle along DFS parents and orient it around.
+    std::vector<std::pair<Vertex, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = true;
+    std::vector<Vertex> cycle;
+    while (!stack.empty() && cycle.empty()) {
+      auto& [u, idx] = stack.back();
+      const auto nbrs = g.neighbors(u);
+      if (idx >= nbrs.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const Vertex v = nbrs[idx++];
+      if (static_cast<std::int64_t>(v) == parent[u]) continue;
+      if (!visited[v]) {
+        visited[v] = true;
+        parent[v] = u;
+        depth[v] = depth[u] + 1;
+        stack.emplace_back(v, 0);
+        continue;
+      }
+      // Non-tree edge u–v. In undirected DFS one endpoint is an ancestor of
+      // the other (no cross edges), but v may be a *finished descendant* of
+      // u, so walk up from whichever endpoint is deeper.
+      const Vertex deep = depth[u] >= depth[v] ? u : v;
+      const Vertex shallow = deep == u ? v : u;
+      cycle.push_back(deep);
+      Vertex w = deep;
+      while (w != shallow) {
+        BBNG_ASSERT(parent[w] >= 0);
+        w = static_cast<Vertex>(parent[w]);
+        cycle.push_back(w);
+      }
+      std::reverse(cycle.begin(), cycle.end());
+    }
+    BBNG_ASSERT(!cycle.empty());
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const Vertex a = cycle[i];
+      const Vertex b = cycle[(i + 1) % cycle.size()];
+      d.add_arc(a, b);
+      oriented.insert(key(a, b));
+    }
+
+    // BFS (within the component) from the cycle: every off-cycle vertex
+    // points to its BFS parent, i.e. toward the cycle.
+    std::vector<bool> reached(n, false);
+    std::vector<Vertex> queue;
+    for (const Vertex s : cycle) {
+      reached[s] = true;
+      visited[s] = true;
+      queue.push_back(s);
+    }
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      for (const Vertex v : g.neighbors(queue[qi])) {
+        if (reached[v]) continue;
+        reached[v] = true;
+        visited[v] = true;
+        d.add_arc(v, queue[qi]);
+        oriented.insert(key(v, queue[qi]));
+        queue.push_back(v);
+      }
+    }
+  }
+
+  // Any remaining unoriented edge gets an arbitrary direction (both of its
+  // endpoints already own an arc or sit in a tree component).
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v < u) continue;
+      if (oriented.insert(key(u, v)).second) d.add_arc(u, v);
+    }
+  }
+  BBNG_ASSERT(d.num_arcs() == g.num_edges());
+  return d;
+}
+
+}  // namespace bbng

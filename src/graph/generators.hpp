@@ -1,0 +1,55 @@
+// Graph and instance generators for tests, examples, and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+/// Directed path v0→v1→…→v_{n-1}: budgets (1,…,1,0).
+[[nodiscard]] Digraph path_digraph(std::uint32_t n);
+
+/// Directed cycle v0→v1→…→v0: budgets (1,…,1).
+[[nodiscard]] Digraph cycle_digraph(std::uint32_t n);
+
+/// Star with all leaves owned by the center (budgets (n-1,0,…,0)).
+[[nodiscard]] Digraph star_digraph(std::uint32_t n);
+
+/// Uniformly random strategy profile realising the given budget vector:
+/// player i links to b_i distinct uniform targets.
+[[nodiscard]] Digraph random_profile(const std::vector<std::uint32_t>& budgets, Rng& rng);
+
+/// Random budget vector with n entries summing to `sigma`, each < n.
+/// Budgets are dealt one unit at a time to uniform players.
+[[nodiscard]] std::vector<std::uint32_t> random_budgets(std::uint32_t n, std::uint64_t sigma,
+                                                        Rng& rng);
+
+/// Uniform random labelled tree (Prüfer-free: random attachment), oriented
+/// child→parent so budgets are (…,1,…, root 0).
+[[nodiscard]] Digraph random_tree_digraph(std::uint32_t n, Rng& rng);
+
+/// G(n, p) Erdős–Rényi undirected graph.
+[[nodiscard]] UGraph erdos_renyi(std::uint32_t n, double p, Rng& rng);
+
+/// Connected G(n, p): a random spanning tree plus G(n,p) edges.
+[[nodiscard]] UGraph connected_erdos_renyi(std::uint32_t n, double p, Rng& rng);
+
+/// rows × cols grid graph.
+[[nodiscard]] UGraph grid_graph(std::uint32_t rows, std::uint32_t cols);
+
+/// Undirected path / cycle / complete graphs.
+[[nodiscard]] UGraph path_ugraph(std::uint32_t n);
+[[nodiscard]] UGraph cycle_ugraph(std::uint32_t n);
+[[nodiscard]] UGraph complete_ugraph(std::uint32_t n);
+
+/// Orient an undirected graph so every vertex has outdegree ≥ 1 where
+/// possible (required by Theorem 5.3: min degree ≥ 1 suffices for
+/// components with a cycle; tree components leave their root without an
+/// arc). Each edge gets exactly one direction.
+[[nodiscard]] Digraph orient_with_positive_outdegree(const UGraph& g);
+
+}  // namespace bbng

@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+void write_dot(std::ostream& os, const Digraph& g, const std::string& name) {
+  os << "digraph " << name << " {\n";
+  os << "  node [shape=circle];\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    os << "  v" << v << " [label=\"v" << v << " (b=" << g.out_degree(v) << ")\"];\n";
+  }
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Vertex v : g.out_neighbors(u)) {
+      os << "  v" << u << " -> v" << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const UGraph& g, const std::string& name) {
+  os << "graph " << name << " {\n";
+  os << "  node [shape=circle];\n";
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v > u) os << "  v" << u << " -- v" << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_arc_list(std::ostream& os, const Digraph& g) {
+  os << "bbng-digraph " << g.num_vertices() << ' ' << g.num_arcs() << '\n';
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Vertex v : g.out_neighbors(u)) os << u << ' ' << v << '\n';
+  }
+}
+
+Digraph read_arc_list(std::istream& is) {
+  std::string line;
+  // Find the header, skipping comments/blanks.
+  std::string magic;
+  std::uint64_t n = 0, m = 0;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    if (!(header >> magic >> n >> m) || magic != "bbng-digraph") {
+      throw std::invalid_argument("bbng: bad arc-list header: " + line);
+    }
+    have_header = true;
+    break;
+  }
+  if (!have_header) throw std::invalid_argument("bbng: missing arc-list header");
+  if (n == 0 || n > (1ULL << 31)) {
+    throw std::invalid_argument("bbng: arc-list vertex count out of range");
+  }
+
+  Digraph g(static_cast<std::uint32_t>(n));
+  std::uint64_t read = 0;
+  while (read < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream arc(line);
+    std::uint64_t tail = 0, head = 0;
+    if (!(arc >> tail >> head)) {
+      throw std::invalid_argument("bbng: malformed arc line: " + line);
+    }
+    if (tail >= n || head >= n) {
+      throw std::invalid_argument("bbng: arc endpoint out of range: " + line);
+    }
+    g.add_arc(static_cast<Vertex>(tail), static_cast<Vertex>(head));  // rejects dup/self
+    ++read;
+  }
+  if (read != m) throw std::invalid_argument("bbng: arc-list truncated");
+  return g;
+}
+
+std::string to_arc_list(const Digraph& g) {
+  std::ostringstream os;
+  write_arc_list(os, g);
+  return os.str();
+}
+
+Digraph from_arc_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_arc_list(is);
+}
+
+}  // namespace bbng

@@ -1,0 +1,38 @@
+// Graph serialization: Graphviz DOT export for visual inspection, and a
+// plain arc-list text format with lossless round-tripping so experiment
+// states (e.g. an equilibrium reached by a long dynamics run) can be saved
+// and reloaded.
+//
+// Arc-list format:
+//   line 1:  "bbng-digraph <n> <m>"
+//   then m lines "<tail> <head>"  (each arc owned by its tail)
+// Comments (# …) and blank lines are permitted when parsing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+/// Graphviz DOT for a realization: arcs drawn directed (ownership visible),
+/// vertices labelled "v<i> (b=<budget>)".
+void write_dot(std::ostream& os, const Digraph& g, const std::string& name = "bbng");
+
+/// Graphviz DOT for an undirected graph.
+void write_dot(std::ostream& os, const UGraph& g, const std::string& name = "bbng");
+
+/// Lossless text serialization of a realization.
+void write_arc_list(std::ostream& os, const Digraph& g);
+
+/// Parse write_arc_list output. Throws std::invalid_argument on malformed
+/// input (bad header, vertex ids out of range, duplicate arcs, self-loops).
+[[nodiscard]] Digraph read_arc_list(std::istream& is);
+
+/// Convenience string round-trips.
+[[nodiscard]] std::string to_arc_list(const Digraph& g);
+[[nodiscard]] Digraph from_arc_list(const std::string& text);
+
+}  // namespace bbng

@@ -1,0 +1,79 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bbng {
+
+std::uint32_t Dinic::add_edge(std::uint32_t u, std::uint32_t v, std::uint64_t cap) {
+  BBNG_REQUIRE(u < head_.size() && v < head_.size());
+  const auto id = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back({v, head_[u], cap});
+  head_[u] = id;
+  edges_.push_back({u, head_[v], 0});
+  head_[v] = id + 1;
+  return id;
+}
+
+bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
+  level_.assign(head_.size(), kNone);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(head_.size());
+  queue.push_back(s);
+  level_[s] = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::uint32_t u = queue[qi];
+    for (std::uint32_t e = head_[u]; e != kNone; e = edges_[e].next) {
+      if (edges_[e].cap == 0 || level_[edges_[e].to] != kNone) continue;
+      level_[edges_[e].to] = level_[u] + 1;
+      queue.push_back(edges_[e].to);
+    }
+  }
+  return level_[t] != kNone;
+}
+
+std::uint64_t Dinic::push(std::uint32_t u, std::uint32_t t, std::uint64_t limit) {
+  if (u == t || limit == 0) return limit;
+  std::uint64_t pushed = 0;
+  for (std::uint32_t& e = iter_[u]; e != kNone; e = edges_[e].next) {
+    Edge& fwd = edges_[e];
+    if (fwd.cap == 0 || level_[fwd.to] != level_[u] + 1) continue;
+    const std::uint64_t got = push(fwd.to, t, std::min(limit - pushed, fwd.cap));
+    if (got == 0) continue;
+    fwd.cap -= got;
+    edges_[e ^ 1U].cap += got;
+    pushed += got;
+    if (pushed == limit) break;
+  }
+  if (pushed == 0) level_[u] = kNone;  // dead end; prune
+  return pushed;
+}
+
+std::uint64_t Dinic::max_flow(std::uint32_t s, std::uint32_t t) {
+  BBNG_REQUIRE(s < head_.size() && t < head_.size());
+  BBNG_REQUIRE_MSG(s != t, "source equals sink");
+  std::uint64_t flow = 0;
+  while (build_levels(s, t)) {
+    iter_ = head_;
+    flow += push(s, t, std::numeric_limits<std::uint64_t>::max());
+  }
+  return flow;
+}
+
+std::vector<bool> Dinic::min_cut_side(std::uint32_t s) const {
+  std::vector<bool> side(head_.size(), false);
+  std::vector<std::uint32_t> queue;
+  queue.push_back(s);
+  side[s] = true;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::uint32_t u = queue[qi];
+    for (std::uint32_t e = head_[u]; e != kNone; e = edges_[e].next) {
+      if (edges_[e].cap == 0 || side[edges_[e].to]) continue;
+      side[edges_[e].to] = true;
+      queue.push_back(edges_[e].to);
+    }
+  }
+  return side;
+}
+
+}  // namespace bbng

@@ -1,0 +1,57 @@
+// Dinic maximum flow.
+//
+// Used by the exact vertex-connectivity computation (Section 7 experiments):
+// vertex capacities are modelled by node splitting, so the flow network has
+// 2n nodes and unit capacities, where Dinic runs in O(E·√V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+class Dinic {
+ public:
+  explicit Dinic(std::uint32_t n) : head_(n, kNone) {}
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(head_.size());
+  }
+
+  /// Add a directed edge u→v with capacity `cap` (reverse capacity 0).
+  /// Returns the edge index (its reverse is index+1).
+  std::uint32_t add_edge(std::uint32_t u, std::uint32_t v, std::uint64_t cap);
+
+  /// Compute the max flow from s to t. May be called once per instance.
+  [[nodiscard]] std::uint64_t max_flow(std::uint32_t s, std::uint32_t t);
+
+  /// Residual capacity of edge `id` after max_flow().
+  [[nodiscard]] std::uint64_t residual(std::uint32_t id) const {
+    BBNG_ASSERT(id < edges_.size());
+    return edges_[id].cap;
+  }
+
+  /// Nodes reachable from s in the residual graph (the s-side of a min cut).
+  [[nodiscard]] std::vector<bool> min_cut_side(std::uint32_t s) const;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffU;
+
+  struct Edge {
+    std::uint32_t to;
+    std::uint32_t next;  // next edge index in the source's list
+    std::uint64_t cap;
+  };
+
+  bool build_levels(std::uint32_t s, std::uint32_t t);
+  std::uint64_t push(std::uint32_t u, std::uint32_t t, std::uint64_t limit);
+
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+}  // namespace bbng

@@ -1,0 +1,94 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/bfs.hpp"
+#include "graph/distances.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace bbng {
+
+std::optional<std::uint32_t> girth(const UGraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::uint32_t best = kUnreachable;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<Vertex> parent(n);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  // BFS from every vertex; a non-tree edge (u,v) seen from root r closes a
+  // cycle of length dist(u) + dist(v) + 1. The minimum over all roots is
+  // exact for unweighted graphs.
+  for (Vertex root = 0; root < n; ++root) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    queue.clear();
+    dist[root] = 0;
+    parent[root] = root;
+    queue.push_back(root);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const Vertex u = queue[qi];
+      if (2 * dist[u] >= best) break;  // no shorter cycle reachable
+      for (const Vertex v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = dist[u] + 1;
+          parent[v] = u;
+          queue.push_back(v);
+        } else if (v != parent[u]) {
+          // Non-tree edge closes a walk of length dist(u)+dist(v)+1 through
+          // the root, which contains a cycle no longer than that; the min
+          // over all roots is exactly the girth.
+          best = std::min(best, dist[u] + dist[v] + 1);
+        }
+      }
+    }
+  }
+  if (best == kUnreachable) return std::nullopt;
+  return best;
+}
+
+namespace {
+
+std::vector<Vertex> extremal_eccentricity(const UGraph& g, bool minimum, ThreadPool* pool) {
+  const EccentricityResult result = eccentricities(g, pool);
+  if (!result.connected || g.num_vertices() == 0) return {};
+  const std::uint32_t target = minimum ? result.radius : result.diameter;
+  std::vector<Vertex> vertices;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (result.ecc[v] == target) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+}  // namespace
+
+std::vector<Vertex> center(const UGraph& g, ThreadPool* pool) {
+  return extremal_eccentricity(g, /*minimum=*/true, pool);
+}
+
+std::vector<Vertex> periphery(const UGraph& g, ThreadPool* pool) {
+  return extremal_eccentricity(g, /*minimum=*/false, pool);
+}
+
+std::optional<std::uint64_t> wiener_index(const UGraph& g, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return 0;
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  std::atomic<bool> connected{true};
+  std::atomic<std::uint64_t> total{0};
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    BfsRunner runner(n);
+    std::uint64_t local = 0;
+    for (std::uint64_t u = begin; u < end; ++u) {
+      runner.run(g, static_cast<Vertex>(u));
+      if (runner.reached() != n) connected.store(false, std::memory_order_relaxed);
+      local += runner.sum_dist();
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  if (!connected.load(std::memory_order_relaxed)) return std::nullopt;
+  return total.load(std::memory_order_relaxed) / 2;  // each pair counted twice
+}
+
+}  // namespace bbng

@@ -1,0 +1,29 @@
+// Additional graph metrics used by the analysis tooling: girth, center /
+// periphery, and the Wiener index (sum over all pairs of distances — the
+// social-welfare analogue of the SUM cost).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Length of a shortest cycle; nullopt for forests. O(n·m) via per-vertex
+/// BFS with parent tracking (exact for unweighted graphs).
+[[nodiscard]] std::optional<std::uint32_t> girth(const UGraph& g);
+
+/// Vertices of minimum eccentricity (empty if disconnected).
+[[nodiscard]] std::vector<Vertex> center(const UGraph& g, ThreadPool* pool = nullptr);
+
+/// Vertices of maximum eccentricity (empty if disconnected).
+[[nodiscard]] std::vector<Vertex> periphery(const UGraph& g, ThreadPool* pool = nullptr);
+
+/// Σ_{u<v} dist(u,v); nullopt if disconnected.
+[[nodiscard]] std::optional<std::uint64_t> wiener_index(const UGraph& g,
+                                                        ThreadPool* pool = nullptr);
+
+}  // namespace bbng

@@ -1,0 +1,135 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+
+namespace bbng {
+
+bool is_tree(const UGraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n == 0) return true;
+  return g.num_edges() == n - 1 && is_connected(g);
+}
+
+namespace {
+
+Vertex farthest_from(const UGraph& g, Vertex source, BfsRunner& runner) {
+  runner.run(g, source);
+  Vertex best = source;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (runner.dist(v) != kUnreachable && runner.dist(v) > runner.dist(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t tree_diameter(const UGraph& g) {
+  BBNG_REQUIRE(is_tree(g));
+  if (g.num_vertices() == 0) return 0;
+  BfsRunner runner(g.num_vertices());
+  const Vertex a = farthest_from(g, 0, runner);
+  runner.run(g, a);
+  return runner.max_dist();
+}
+
+std::vector<Vertex> tree_longest_path(const UGraph& g) {
+  BBNG_REQUIRE(is_tree(g));
+  if (g.num_vertices() == 0) return {};
+  BfsRunner runner(g.num_vertices());
+  const Vertex a = farthest_from(g, 0, runner);
+  const Vertex b = farthest_from(g, a, runner);
+  // runner now holds distances from a; walk back from b along decreasing
+  // distance to recover the path.
+  std::vector<Vertex> path{b};
+  Vertex u = b;
+  while (u != a) {
+    for (const Vertex w : g.neighbors(u)) {
+      if (runner.dist(w) + 1 == runner.dist(u)) {
+        u = w;
+        break;
+      }
+    }
+    path.push_back(u);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::uint32_t RootedTree::height() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t d : depth) best = std::max(best, d);
+  return best;
+}
+
+RootedTree root_tree(const UGraph& g, Vertex root) {
+  BBNG_REQUIRE(is_tree(g));
+  BBNG_REQUIRE(root < g.num_vertices());
+  const std::uint32_t n = g.num_vertices();
+  RootedTree t;
+  t.root = root;
+  t.parent.assign(n, root);
+  t.depth.assign(n, 0);
+  t.children.assign(n, {});
+  t.bfs_order.clear();
+  t.bfs_order.reserve(n);
+
+  std::vector<bool> seen(n, false);
+  seen[root] = true;
+  t.bfs_order.push_back(root);
+  for (std::size_t qi = 0; qi < t.bfs_order.size(); ++qi) {
+    const Vertex u = t.bfs_order[qi];
+    for (const Vertex v : g.neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      t.parent[v] = u;
+      t.depth[v] = t.depth[u] + 1;
+      t.children[u].push_back(v);
+      t.bfs_order.push_back(v);
+    }
+  }
+  return t;
+}
+
+std::vector<std::uint64_t> subtree_sizes(const RootedTree& t) {
+  std::vector<std::uint64_t> size(t.parent.size(), 1);
+  // bfs_order is top-down; accumulate bottom-up.
+  for (auto it = t.bfs_order.rbegin(); it != t.bfs_order.rend(); ++it) {
+    const Vertex v = *it;
+    if (v != t.root) size[t.parent[v]] += size[v];
+  }
+  return size;
+}
+
+std::vector<std::uint64_t> path_attachment_sizes(const UGraph& g,
+                                                 std::span<const Vertex> path) {
+  BBNG_REQUIRE(!path.empty());
+  const std::uint32_t n = g.num_vertices();
+  // Multi-source BFS from the path, remembering which path vertex each
+  // vertex attaches through.
+  std::vector<std::uint32_t> owner(n, 0xffffffffU);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    BBNG_REQUIRE(path[i] < n);
+    owner[path[i]] = static_cast<std::uint32_t>(i);
+    queue.push_back(path[i]);
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const Vertex u = queue[qi];
+    for (const Vertex v : g.neighbors(u)) {
+      if (owner[v] != 0xffffffffU) continue;
+      owner[v] = owner[u];
+      queue.push_back(v);
+    }
+  }
+  std::vector<std::uint64_t> a(path.size(), 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (owner[v] != 0xffffffffU) ++a[owner[v]];
+  }
+  return a;
+}
+
+}  // namespace bbng

@@ -1,0 +1,45 @@
+// Rooted / free tree utilities.
+//
+// Tree-BG instances (Σb_i = n-1) always produce tree equilibria; the Section
+// 3 experiments need tree diameters (double BFS — exact on trees), longest
+// paths, rooted decompositions, and the A_i decomposition of Theorem 3.3
+// (vertices hanging off each spine vertex of a longest path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+[[nodiscard]] bool is_tree(const UGraph& g);
+
+/// Exact diameter of a tree via two BFS passes. Precondition: is_tree(g).
+[[nodiscard]] std::uint32_t tree_diameter(const UGraph& g);
+
+/// One longest path of the tree, as a vertex sequence.
+[[nodiscard]] std::vector<Vertex> tree_longest_path(const UGraph& g);
+
+struct RootedTree {
+  Vertex root = 0;
+  std::vector<Vertex> parent;             ///< parent[root] == root
+  std::vector<std::uint32_t> depth;       ///< depth[root] == 0
+  std::vector<Vertex> bfs_order;          ///< root first
+  std::vector<std::vector<Vertex>> children;
+  [[nodiscard]] std::uint32_t height() const;
+};
+
+/// Root the tree at `root`. Precondition: is_tree(g).
+[[nodiscard]] RootedTree root_tree(const UGraph& g, Vertex root);
+
+/// Subtree sizes in vertices, indexed by vertex.
+[[nodiscard]] std::vector<std::uint64_t> subtree_sizes(const RootedTree& t);
+
+/// Theorem 3.3 decomposition: given a path P (as a vertex sequence) in a
+/// tree, a(i) = |A_i| where A_i is the set of vertices whose unique path to
+/// P enters at P[i] (including P[i] itself). Σ a(i) = n.
+[[nodiscard]] std::vector<std::uint64_t> path_attachment_sizes(const UGraph& g,
+                                                               std::span<const Vertex> path);
+
+}  // namespace bbng

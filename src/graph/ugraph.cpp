@@ -1,0 +1,51 @@
+#include "graph/ugraph.hpp"
+
+#include <algorithm>
+
+namespace bbng {
+
+bool UGraph::has_edge(Vertex u, Vertex v) const {
+  BBNG_ASSERT(u < adj_.size() && v < adj_.size());
+  const auto& nbrs = adj_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void UGraph::add_edge(Vertex u, Vertex v) {
+  BBNG_REQUIRE(u < adj_.size() && v < adj_.size());
+  BBNG_REQUIRE_MSG(u != v, "self-loops are not supported");
+  auto insert_sorted = [](std::vector<Vertex>& nbrs, Vertex w) {
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+    BBNG_REQUIRE_MSG(it == nbrs.end() || *it != w, "duplicate edge");
+    nbrs.insert(it, w);
+  };
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  ++num_edges_;
+}
+
+void UGraph::remove_edge(Vertex u, Vertex v) {
+  BBNG_REQUIRE(u < adj_.size() && v < adj_.size());
+  auto erase_sorted = [](std::vector<Vertex>& nbrs, Vertex w) {
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+    BBNG_REQUIRE_MSG(it != nbrs.end() && *it == w, "edge not present");
+    nbrs.erase(it);
+  };
+  erase_sorted(adj_[u], v);
+  erase_sorted(adj_[v], u);
+  --num_edges_;
+}
+
+std::uint32_t UGraph::min_degree() const {
+  BBNG_REQUIRE(!adj_.empty());
+  std::uint32_t best = ~0U;
+  for (const auto& nbrs : adj_) best = std::min(best, static_cast<std::uint32_t>(nbrs.size()));
+  return best;
+}
+
+std::uint32_t UGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, static_cast<std::uint32_t>(nbrs.size()));
+  return best;
+}
+
+}  // namespace bbng

@@ -1,0 +1,62 @@
+// Simple undirected graph — the metric substrate.
+//
+// All distances in the game are measured in the undirected underlying graph
+// of the realization (Section 1.2); UGraph is that view, and also serves as
+// the input graph for the facility-location solvers (Theorem 2.1 reduction)
+// and the shift-graph construction (Lemma 5.2). Adjacency lists are kept
+// sorted for O(log d) membership queries and canonical comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/assert.hpp"
+
+namespace bbng {
+
+class UGraph {
+ public:
+  explicit UGraph(std::uint32_t n) : adj_(n) {}
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Add the (simple) edge {u,v}. Precondition: u≠v, not already present.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Remove the edge {u,v}. Precondition: present.
+  void remove_edge(Vertex u, Vertex v);
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex u) const {
+    BBNG_ASSERT(u < adj_.size());
+    return {adj_[u].data(), adj_[u].size()};
+  }
+
+  [[nodiscard]] std::uint32_t degree(Vertex u) const {
+    BBNG_ASSERT(u < adj_.size());
+    return static_cast<std::uint32_t>(adj_[u].size());
+  }
+
+  [[nodiscard]] std::uint32_t min_degree() const;
+  [[nodiscard]] std::uint32_t max_degree() const;
+
+  /// True iff every pair of distinct vertices is adjacent.
+  [[nodiscard]] bool is_complete() const noexcept {
+    const std::uint64_t n = adj_.size();
+    return n < 2 || num_edges_ == n * (n - 1) / 2;
+  }
+
+  friend bool operator==(const UGraph& a, const UGraph& b) { return a.adj_ == b.adj_; }
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace bbng

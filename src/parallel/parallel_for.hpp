@@ -1,0 +1,79 @@
+// parallel_for / parallel_reduce — OpenMP-style bulk loops on a ThreadPool.
+//
+// These are the entry points the rest of the library uses; they pick a grain
+// size automatically (≈ 4 chunks per lane, clamped to a minimum so tiny loops
+// stay serial) and degrade gracefully to plain loops when the pool width is
+// one or the trip count is small.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Grain heuristic: aim for width*4 chunks, but never chunks smaller than
+/// `min_grain` (body invocations are assumed moderately heavy).
+[[nodiscard]] inline std::uint64_t pick_grain(std::uint64_t count, unsigned width,
+                                              std::uint64_t min_grain = 1) {
+  if (count == 0) return 1;
+  const std::uint64_t target_chunks = static_cast<std::uint64_t>(width) * 4;
+  std::uint64_t grain = (count + target_chunks - 1) / target_chunks;
+  if (grain < min_grain) grain = min_grain;
+  return grain;
+}
+
+/// parallel_for(pool, n, [&](std::uint64_t i){ ... });
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::uint64_t count, Body&& body,
+                  std::uint64_t min_grain = 1) {
+  static_assert(std::is_invocable_v<Body, std::uint64_t>,
+                "body must be callable as body(std::uint64_t index)");
+  const std::uint64_t grain = pick_grain(count, pool.width(), min_grain);
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk =
+      [&body](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) body(i);
+      };
+  pool.run_chunked(count, grain, chunk);
+}
+
+/// Convenience overload on the shared pool.
+template <typename Body>
+void parallel_for(std::uint64_t count, Body&& body, std::uint64_t min_grain = 1) {
+  parallel_for(ThreadPool::shared(), count, std::forward<Body>(body), min_grain);
+}
+
+/// parallel_reduce: each index produces a T via `body(i)`; partial results
+/// are folded with `combine` (must be associative & commutative). `identity`
+/// seeds every lane.
+template <typename T, typename Body, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::uint64_t count, T identity, Body&& body,
+                                Combine&& combine, std::uint64_t min_grain = 1) {
+  static_assert(std::is_invocable_r_v<T, Body, std::uint64_t>,
+                "body must be callable as T body(std::uint64_t index)");
+  T result = identity;
+  std::mutex result_mutex;
+  const std::uint64_t grain = pick_grain(count, pool.width(), min_grain);
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk =
+      [&](std::uint64_t begin, std::uint64_t end) {
+        T local = identity;
+        for (std::uint64_t i = begin; i < end; ++i) local = combine(local, body(i));
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        result = combine(result, local);
+      };
+  pool.run_chunked(count, grain, chunk);
+  return result;
+}
+
+template <typename T, typename Body, typename Combine>
+[[nodiscard]] T parallel_reduce(std::uint64_t count, T identity, Body&& body, Combine&& combine,
+                                std::uint64_t min_grain = 1) {
+  return parallel_reduce<T>(ThreadPool::shared(), count, identity, std::forward<Body>(body),
+                            std::forward<Combine>(combine), min_grain);
+}
+
+}  // namespace bbng

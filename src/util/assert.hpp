@@ -1,0 +1,38 @@
+// Lightweight assertion macros for the bbng library.
+//
+// BBNG_ASSERT is an internal invariant check: it is compiled in all build
+// types (the library is research software where silent corruption is worse
+// than a small constant overhead) and aborts with a source location.
+// BBNG_REQUIRE is a precondition check on public API boundaries; it throws
+// std::invalid_argument so callers can test misuse without death tests.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bbng {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "bbng: assertion failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::invalid_argument("bbng: precondition violated: " + std::string(expr) + " at " +
+                              file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace bbng
+
+#define BBNG_ASSERT(expr) \
+  ((expr) ? (void)0 : ::bbng::assert_fail(#expr, __FILE__, __LINE__))
+
+#define BBNG_REQUIRE(expr) \
+  ((expr) ? (void)0 : ::bbng::require_fail(#expr, __FILE__, __LINE__, ""))
+
+#define BBNG_REQUIRE_MSG(expr, msg) \
+  ((expr) ? (void)0 : ::bbng::require_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::shared_ptr<std::int64_t> Cli::add_int(const std::string& name, std::int64_t default_value,
+                                           const std::string& help) {
+  BBNG_REQUIRE_MSG(find(name) == nullptr, "duplicate option --" + name);
+  Option opt{name, help, Kind::Int, std::make_shared<std::int64_t>(default_value), {}, {}, {}};
+  options_.push_back(opt);
+  return opt.int_value;
+}
+
+std::shared_ptr<double> Cli::add_double(const std::string& name, double default_value,
+                                        const std::string& help) {
+  BBNG_REQUIRE_MSG(find(name) == nullptr, "duplicate option --" + name);
+  Option opt{name, help, Kind::Double, {}, std::make_shared<double>(default_value), {}, {}};
+  options_.push_back(opt);
+  return opt.double_value;
+}
+
+std::shared_ptr<std::string> Cli::add_string(const std::string& name, std::string default_value,
+                                             const std::string& help) {
+  BBNG_REQUIRE_MSG(find(name) == nullptr, "duplicate option --" + name);
+  Option opt{name, help, Kind::String, {}, {},
+             std::make_shared<std::string>(std::move(default_value)), {}};
+  options_.push_back(opt);
+  return opt.string_value;
+}
+
+std::shared_ptr<bool> Cli::add_flag(const std::string& name, const std::string& help) {
+  BBNG_REQUIRE_MSG(find(name) == nullptr, "duplicate option --" + name);
+  Option opt{name, help, Kind::Flag, {}, {}, {}, std::make_shared<bool>(false)};
+  options_.push_back(opt);
+  return opt.flag_value;
+}
+
+Cli::Option* Cli::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    os << "  --" << opt.name;
+    switch (opt.kind) {
+      case Kind::Int: os << " <int>    (default " << *opt.int_value << ")"; break;
+      case Kind::Double: os << " <float>  (default " << *opt.double_value << ")"; break;
+      case Kind::String: os << " <str>    (default \"" << *opt.string_value << "\")"; break;
+      case Kind::Flag: break;
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      print this message and exit\n";
+  return os.str();
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) throw std::invalid_argument("unknown option --" + arg);
+    if (opt->kind == Kind::Flag) {
+      if (has_value) throw std::invalid_argument("flag --" + arg + " takes no value");
+      *opt->flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("option --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    try {
+      switch (opt->kind) {
+        case Kind::Int: *opt->int_value = std::stoll(value); break;
+        case Kind::Double: *opt->double_value = std::stod(value); break;
+        case Kind::String: *opt->string_value = value; break;
+        case Kind::Flag: break;
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for --" + arg + ": " + value);
+    }
+  }
+}
+
+}  // namespace bbng

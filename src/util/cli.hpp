@@ -1,0 +1,57 @@
+// Tiny declarative CLI flag parser shared by benches and examples.
+//
+// Usage:
+//   bbng::Cli cli("bench_tree_max", "Reproduces Table 1 (Trees, MAX).");
+//   auto n    = cli.add_int("n", 301, "number of players");
+//   auto csv  = cli.add_flag("csv", "emit CSV instead of an ASCII grid");
+//   cli.parse(argc, argv);            // exits(0) on --help, throws on misuse
+//   use(*n, *csv);
+//
+// Values are shared_ptr so the handles outlive parse() without dangling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bbng {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  std::shared_ptr<std::int64_t> add_int(const std::string& name, std::int64_t default_value,
+                                        const std::string& help);
+  std::shared_ptr<double> add_double(const std::string& name, double default_value,
+                                     const std::string& help);
+  std::shared_ptr<std::string> add_string(const std::string& name, std::string default_value,
+                                          const std::string& help);
+  std::shared_ptr<bool> add_flag(const std::string& name, const std::string& help);
+
+  /// Parse `--name value` / `--name=value` / `--flag`. Prints usage and exits
+  /// on --help; throws std::invalid_argument on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<std::int64_t> int_value;
+    std::shared_ptr<double> double_value;
+    std::shared_ptr<std::string> string_value;
+    std::shared_ptr<bool> flag_value;
+  };
+
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace bbng

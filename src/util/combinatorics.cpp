@@ -1,0 +1,103 @@
+#include "util/combinatorics.hpp"
+
+#include <numeric>
+
+namespace bbng {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k, std::uint64_t clamp) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is integral at every step; a 128-bit
+    // intermediate avoids both overflow and premature clamping.
+    const __uint128_t product = static_cast<__uint128_t>(result) * (n - k + i) / i;
+    if (product >= clamp) return clamp;
+    result = static_cast<std::uint64_t>(product);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> unrank_combination(std::uint32_t n, std::uint32_t k,
+                                              std::uint64_t rank) {
+  BBNG_REQUIRE(k <= n);
+  BBNG_REQUIRE_MSG(rank < binomial(n, k), "rank out of range");
+  std::vector<std::uint32_t> subset;
+  subset.reserve(k);
+  std::uint32_t next = 0;  // smallest value still available
+  for (std::uint32_t slot = 0; slot < k; ++slot) {
+    // Choose the smallest c ≥ next such that the number of completions
+    // C(n-c-1, k-slot-1) exceeds the remaining rank.
+    std::uint32_t c = next;
+    while (true) {
+      const std::uint64_t completions = binomial(n - c - 1, k - slot - 1);
+      if (rank < completions) break;
+      rank -= completions;
+      ++c;
+      BBNG_ASSERT(c < n);
+    }
+    subset.push_back(c);
+    next = c + 1;
+  }
+  return subset;
+}
+
+std::uint64_t rank_combination(std::uint32_t n, std::span<const std::uint32_t> subset) {
+  const auto k = static_cast<std::uint32_t>(subset.size());
+  BBNG_REQUIRE(k <= n);
+  std::uint64_t rank = 0;
+  std::uint32_t next = 0;
+  for (std::uint32_t slot = 0; slot < k; ++slot) {
+    const std::uint32_t c = subset[slot];
+    BBNG_REQUIRE_MSG(c >= next && c < n, "subset must be sorted, distinct, in range");
+    // Count combinations that start with a smaller value in this slot.
+    for (std::uint32_t smaller = next; smaller < c; ++smaller) {
+      rank += binomial(n - smaller - 1, k - slot - 1);
+    }
+    next = c + 1;
+  }
+  return rank;
+}
+
+CombinationIterator::CombinationIterator(std::uint32_t n, std::uint32_t k)
+    : n_(n), k_(k), valid_(k <= n), indices_(k) {
+  std::iota(indices_.begin(), indices_.end(), 0U);
+}
+
+CombinationIterator::CombinationIterator(std::uint32_t n, std::uint32_t k,
+                                         std::vector<std::uint32_t> start)
+    : n_(n), k_(k), valid_(k <= n), indices_(std::move(start)) {
+  BBNG_REQUIRE(indices_.size() == k);
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    BBNG_REQUIRE(indices_[i] < n);
+    if (i > 0) BBNG_REQUIRE_MSG(indices_[i - 1] < indices_[i], "start subset must be sorted");
+  }
+}
+
+void CombinationIterator::advance() noexcept {
+  if (!valid_) return;
+  if (k_ == 0) {  // single empty combination
+    valid_ = false;
+    return;
+  }
+  // Find the rightmost index that can still move right.
+  std::int64_t i = static_cast<std::int64_t>(k_) - 1;
+  while (i >= 0 && indices_[static_cast<std::size_t>(i)] ==
+                       n_ - k_ + static_cast<std::uint32_t>(i)) {
+    --i;
+  }
+  if (i < 0) {
+    valid_ = false;
+    return;
+  }
+  auto ui = static_cast<std::size_t>(i);
+  ++indices_[ui];
+  for (std::size_t j = ui + 1; j < k_; ++j) indices_[j] = indices_[j - 1] + 1;
+}
+
+void CombinationIterator::reset() noexcept {
+  valid_ = (k_ <= n_);
+  std::iota(indices_.begin(), indices_.end(), 0U);
+}
+
+}  // namespace bbng

@@ -1,0 +1,159 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+JsonWriter::~JsonWriter() = default;
+
+bool JsonWriter::complete() const noexcept {
+  return top_level_written_ && stack_.empty() && !pending_key_;
+}
+
+void JsonWriter::indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    BBNG_REQUIRE_MSG(!top_level_written_, "only one top-level JSON value is allowed");
+    top_level_written_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::Object) {
+    BBNG_REQUIRE_MSG(pending_key_, "object members need a key() first");
+    pending_key_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) os_ << ',';
+  indent();
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  BBNG_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::Object,
+                   "key() is only valid inside an object");
+  BBNG_REQUIRE_MSG(!pending_key_, "key() already pending");
+  if (has_items_.back()) os_ << ',';
+  indent();
+  has_items_.back() = true;
+  os_ << '"' << escape(name) << (pretty_ ? "\": " : "\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  BBNG_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::Object, "no object to close");
+  BBNG_REQUIRE_MSG(!pending_key_, "dangling key");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  BBNG_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::Array, "no array to close");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  os_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint32_t number) {
+  return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(int number) { return value(static_cast<std::int64_t>(number)); }
+
+JsonWriter& JsonWriter::value(double number) {
+  BBNG_REQUIRE_MSG(std::isfinite(number), "JSON cannot represent NaN/Inf");
+  before_value();
+  std::ostringstream tmp;
+  tmp.precision(15);
+  tmp << number;
+  os_ << tmp.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 4);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace bbng

@@ -1,0 +1,70 @@
+// Minimal JSON writer for experiment records.
+//
+// Benches and examples can dump machine-readable records (budgets, reached
+// equilibria, measured diameters) next to their ASCII tables. The writer is
+// a push API with explicit begin/end, validates nesting, and escapes string
+// values per RFC 8259. There is deliberately no parser — the library only
+// ever emits JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bbng {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true) : os_(os), pretty_(pretty) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. At the top level exactly one value must be written.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  // Scalar values.
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::uint32_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand: key + scalar.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T&& scalar) {
+    key(name);
+    return value(std::forward<T>(scalar));
+  }
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool complete() const noexcept;
+
+ private:
+  enum class Frame { Object, Array };
+
+  void before_value();   // separators/indent; validates a value is legal here
+  void indent();
+  static std::string escape(const std::string& text);
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // per frame
+  bool pending_key_ = false;
+  bool top_level_written_ = false;
+};
+
+}  // namespace bbng

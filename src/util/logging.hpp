@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing by default (level = Warn); benches and
+// examples raise the level with --verbose. Logging is format-string free to
+// keep the dependency surface at zero: callers build strings with
+// bbng::cat(...), a small variadic concatenator.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bbng {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (thread-safe; one lock per line).
+void log(LogLevel level, const std::string& message);
+
+/// Concatenate any streamable values into a string: cat("n=", n, " d=", d).
+template <typename... Args>
+[[nodiscard]] std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace bbng

@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace bbng {
+
+std::vector<std::uint32_t> Rng::sample(std::uint32_t population, std::uint32_t k) {
+  BBNG_REQUIRE(k <= population);
+  std::vector<std::uint32_t> pool(population);
+  std::iota(pool.begin(), pool.end(), 0U);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::size_t j = i + next_below(population - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace bbng

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic experiments in bbng take an explicit 64-bit seed so every
+// table row is reproducible. The generator is xoshiro256** (Blackman/Vigna),
+// seeded through splitmix64; it is small, fast, and has no global state.
+// The class satisfies std::uniform_random_bit_generator, so it can be handed
+// to <random> distributions, but the common cases (bounded ints, doubles,
+// shuffles, samples without replacement) have direct, bias-free helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+/// splitmix64 step; used for seeding and for hashing experiment ids.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift with rejection.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    BBNG_ASSERT(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    BBNG_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from {0, …, population-1}
+  /// (partial Fisher–Yates over an index vector; O(population)).
+  [[nodiscard]] std::vector<std::uint32_t> sample(std::uint32_t population, std::uint32_t k);
+
+  /// Fork an independent stream (for per-thread generators).
+  [[nodiscard]] Rng split() noexcept {
+    Rng child(0);
+    for (auto& word : child.state_) word = (*this)();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bbng

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1 ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double ss = 0;
+  for (const double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(sorted.size()));
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  BBNG_REQUIRE(x.size() == y.size());
+  BBNG_REQUIRE_MSG(x.size() >= 2, "a line needs at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  BBNG_REQUIRE_MSG(std::abs(denom) > 1e-12, "x values are all equal");
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 1e-12) {
+    fit.r_squared = 1.0;  // constant y: the fit is exact
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  BBNG_REQUIRE(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    BBNG_REQUIRE_MSG(x[i] > 0 && y[i] > 0, "power-law fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+LinearFit fit_log_law(std::span<const double> x, std::span<const double> y) {
+  BBNG_REQUIRE(x.size() == y.size());
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    BBNG_REQUIRE_MSG(x[i] > 0, "log fit needs positive x");
+    lx[i] = std::log2(x[i]);
+  }
+  return fit_linear(lx, {y.data(), y.size()});
+}
+
+std::vector<std::uint64_t> histogram(std::span<const double> values, double lo, double hi,
+                                     std::size_t bins) {
+  BBNG_REQUIRE(bins >= 1);
+  BBNG_REQUIRE(hi > lo);
+  std::vector<std::uint64_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    auto bin = static_cast<std::int64_t>((v - lo) / width);
+    bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  return counts;
+}
+
+}  // namespace bbng

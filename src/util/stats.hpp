@@ -1,0 +1,45 @@
+// Descriptive statistics and scaling-law fits for the bench harness.
+//
+// The paper's Table 1 makes *asymptotic* claims (Θ(n), Θ(log n), Ω(√log n),
+// 2^O(√log n)); the benches back them with measured growth exponents:
+// fit_power_law() regresses log y on log x (slope ≈ the polynomial degree),
+// fit_log_law() regresses y on log2 x (slope ≈ the log coefficient).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bbng {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  ///< population standard deviation
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;  ///< 1 on ≥2 collinear points; 0 when undefined
+};
+
+/// Ordinary least squares y ≈ slope·x + intercept. Needs ≥ 2 points.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ≈ c · x^slope via log-log regression (x, y must be positive).
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ≈ slope · log2(x) + intercept (x must be positive).
+[[nodiscard]] LinearFit fit_log_law(std::span<const double> x, std::span<const double> y);
+
+/// Fixed-width histogram over [lo, hi]; values outside clamp to end bins.
+[[nodiscard]] std::vector<std::uint64_t> histogram(std::span<const double> values, double lo,
+                                                   double hi, std::size_t bins);
+
+}  // namespace bbng

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  BBNG_REQUIRE_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+Table& Table::new_row() {
+  if (!rows_.empty()) {
+    BBNG_REQUIRE_MSG(rows_.back().size() == columns_.size(),
+                     "previous row is incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  BBNG_REQUIRE_MSG(!rows_.empty(), "call new_row() before add()");
+  BBNG_REQUIRE_MSG(rows_.back().size() < columns_.size(), "row already full");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+Table& Table::add(unsigned value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  BBNG_REQUIRE(row < rows_.size());
+  BBNG_REQUIRE(col < rows_[row].size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&os, &widths]() {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& value = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << value << std::string(widths[c] - value.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  emit(columns_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const bool quote = cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (!quote) {
+        os << cells[c];
+      } else {
+        os << '"';
+        for (const char ch : cells[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    print_csv(os);
+  } else {
+    print(os);
+  }
+}
+
+}  // namespace bbng

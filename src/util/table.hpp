@@ -1,0 +1,52 @@
+// ASCII / CSV table rendering for the bench harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// rows of a Table: columns are declared once, rows are appended as strings
+// or numbers, and the table renders either as an aligned ASCII grid (default,
+// human-readable) or CSV (--csv flag) for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbng {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Optional caption printed above the grid (ignored in CSV mode).
+  void set_title(std::string title);
+
+  /// Begin a new row; subsequent add_* calls fill it left to right.
+  Table& new_row();
+
+  Table& add(std::string value);
+  Table& add(const char* value);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+  Table& add(unsigned value);
+  /// Doubles render with `precision` digits after the point.
+  Table& add(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Render as an aligned ASCII grid.
+  void print(std::ostream& os) const;
+  /// Render as RFC-4180-ish CSV (values containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+  /// Dispatch on `csv`.
+  void print(std::ostream& os, bool csv) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bbng

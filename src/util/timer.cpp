@@ -1,0 +1,9 @@
+#include "util/timer.hpp"
+
+// Timer is header-only; this translation unit exists so the target has a
+// stable archive member even if the header becomes implementation-backed.
+namespace bbng {
+namespace {
+[[maybe_unused]] constexpr int kTimerTu = 0;
+}  // namespace
+}  // namespace bbng

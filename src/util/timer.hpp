@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the bench harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bbng {
+
+/// Monotonic stopwatch. Construction starts it; elapsed_* reads it.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t elapsed_micros() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bbng

@@ -1,0 +1,88 @@
+// Baseline: the basic network creation game (Alon et al., SPAA 2010) —
+// swap moves, no ownership. Key contrast reproduced from Section 1.1: MAX
+// tree swap-equilibria of the basic game have diameter ≤ 3, while the
+// bounded-budget game has tree equilibria of diameter Θ(n) (the spider).
+#include "baselines/basic_ncg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constructions/spider.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(BasicCost, MatchesDefinitions) {
+  const UGraph g = path_ugraph(4);
+  EXPECT_EQ(basic_cost(g, 0, CostVersion::Sum), 1U + 2 + 3);
+  EXPECT_EQ(basic_cost(g, 0, CostVersion::Max), 3U);
+  EXPECT_EQ(basic_cost(g, 1, CostVersion::Max), 2U);
+}
+
+TEST(BasicSwapSearch, FindsTheObviousMove) {
+  // Path endpoints want to re-attach toward the middle in the MAX version.
+  const UGraph g = path_ugraph(6);
+  const auto swap = find_improving_basic_swap(g, 0, CostVersion::Max);
+  ASSERT_TRUE(swap.has_value());
+  EXPECT_EQ(swap->drop, 1U);
+  UGraph moved = g;
+  moved.remove_edge(0, swap->drop);
+  moved.add_edge(0, swap->add);
+  EXPECT_LT(basic_cost(moved, 0, CostVersion::Max), basic_cost(g, 0, CostVersion::Max));
+}
+
+TEST(BasicSwapEquilibrium, StarIsStable) {
+  UGraph star(7);
+  for (Vertex v = 1; v < 7; ++v) star.add_edge(0, v);
+  EXPECT_TRUE(is_basic_swap_equilibrium(star, CostVersion::Sum));
+  EXPECT_TRUE(is_basic_swap_equilibrium(star, CostVersion::Max));
+}
+
+TEST(BasicSwapEquilibrium, LongPathIsNot) {
+  const UGraph g = path_ugraph(8);
+  EXPECT_FALSE(is_basic_swap_equilibrium(g, CostVersion::Sum));
+  EXPECT_FALSE(is_basic_swap_equilibrium(g, CostVersion::Max));
+}
+
+TEST(BasicSwapDynamics, ConvergesToSwapEquilibrium) {
+  Rng rng(81);
+  for (int round = 0; round < 4; ++round) {
+    const UGraph initial = random_tree_digraph(12, rng).underlying();
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const BasicDynamicsResult result = run_basic_swap_dynamics(initial, version, 500);
+      ASSERT_TRUE(result.converged);
+      EXPECT_TRUE(is_basic_swap_equilibrium(result.graph, version));
+      // Swaps preserve the edge count.
+      EXPECT_EQ(result.graph.num_edges(), initial.num_edges());
+    }
+  }
+}
+
+TEST(BasicNcgContrast, MaxTreeSwapEquilibriaHaveDiameterAtMost3) {
+  // The paper's Section 1.1 contrast, tree side of the basic game: run swap
+  // dynamics from random trees; every MAX swap-equilibrium tree found has
+  // diameter ≤ 3.
+  Rng rng(82);
+  for (int round = 0; round < 8; ++round) {
+    const UGraph initial = random_tree_digraph(14, rng).underlying();
+    const BasicDynamicsResult result =
+        run_basic_swap_dynamics(initial, CostVersion::Max, 500);
+    if (!result.converged) continue;
+    if (!is_tree(result.graph)) continue;  // swaps keep m = n−1 but check anyway
+    EXPECT_LE(tree_diameter(result.graph), 3U) << "round " << round;
+  }
+}
+
+TEST(BasicNcgContrast, SpiderIsNotBasicSwapStableButIsBoundedBudgetStable) {
+  // The same spider tree: a Θ(n)-diameter equilibrium under ownership
+  // (Theorem 3.2), NOT an equilibrium when any endpoint may swap any
+  // incident edge (basic game) — ownership is what creates the gap.
+  const Digraph spider = spider_digraph(6);
+  const UGraph tree = spider.underlying();
+  EXPECT_FALSE(is_basic_swap_equilibrium(tree, CostVersion::Max));
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,105 @@
+// Baseline: the directed BBC game of Laoutaris et al.
+#include "baselines/bbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/cost.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(DirectedDistances, FollowArcDirections) {
+  const Digraph g = path_digraph(4);  // 0→1→2→3
+  const auto from0 = directed_distances(g, 0);
+  EXPECT_EQ(from0[3], 3U);
+  const auto from3 = directed_distances(g, 3);
+  EXPECT_EQ(from3[0], kUnreachable);  // arcs unusable backwards
+  EXPECT_EQ(from3[3], 0U);
+}
+
+TEST(DirectedDistances, CycleReachesEverything) {
+  const Digraph g = cycle_digraph(5);
+  const auto d = directed_distances(g, 0);
+  EXPECT_EQ(d[1], 1U);
+  EXPECT_EQ(d[4], 4U);  // the long way round, directed
+}
+
+TEST(BbcCost, DirectionalityMatters) {
+  const Digraph g = path_digraph(4);  // n² = 16
+  EXPECT_EQ(bbc_cost(g, 0), 1U + 2 + 3);
+  EXPECT_EQ(bbc_cost(g, 3), 3U * 16);  // sees nobody
+  // Undirected cost of vertex 3 is finite — the defining difference from
+  // the paper's model.
+  EXPECT_EQ(vertex_cost(g, 3, CostVersion::Sum), 1U + 2 + 3);
+}
+
+TEST(BbcBestResponse, EndpointRelinksGreedily) {
+  const Digraph g = path_digraph(5);
+  // Player 0 owns one arc; BBC-best is to point at 1 still? Pointing at 1
+  // reaches all via the chain (cost 1+2+3+4); pointing deeper loses 1 but…
+  const BbcBestResponse br = bbc_best_response(g, 0);
+  EXPECT_LE(br.cost, br.current_cost);
+  // Pointing at 1 reaches {1,2,3,4} at 1,2,3,4 → 10; pointing at 2 reaches
+  // {2,3,4} at 1,2,3 and never reaches 1 → 6 + 16 = 22. So stay at 1.
+  EXPECT_EQ(br.strategy, (std::vector<Vertex>{1}));
+  EXPECT_EQ(br.cost, 10U);
+}
+
+TEST(BbcEquilibrium, DirectedCycleIsEquilibrium) {
+  // In a directed cycle every player reaches everyone; swapping the arc
+  // forward only pushes vertices further (classic BBC equilibrium).
+  const Digraph g = cycle_digraph(4);
+  EXPECT_TRUE(bbc_is_equilibrium(g));
+}
+
+TEST(BbcEquilibrium, PathIsNot) {
+  EXPECT_FALSE(bbc_is_equilibrium(path_digraph(5)));
+}
+
+TEST(BbcDynamics, ConvergesOnSmallUnitGames) {
+  Rng rng(71);
+  int converged = 0;
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<std::uint32_t> budgets(7, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    const BbcDynamicsResult result = run_bbc_dynamics(initial, 300);
+    if (result.converged) {
+      ++converged;
+      EXPECT_TRUE(bbc_is_equilibrium(result.graph));
+    }
+  }
+  // Laoutaris et al. prove convergence is NOT guaranteed in general, but
+  // small unit-budget instances usually settle.
+  EXPECT_GE(converged, 3);
+}
+
+TEST(BbcDynamics, PreservesBudgets) {
+  Rng rng(72);
+  const auto budgets = random_budgets(7, 9, rng);
+  const Digraph initial = random_profile(budgets, rng);
+  const BbcDynamicsResult result = run_bbc_dynamics(initial, 100, 100'000);
+  EXPECT_EQ(result.graph.budgets(), budgets);
+}
+
+TEST(BbcBestResponse, OverLimitThrows) {
+  Rng rng(73);
+  const std::vector<std::uint32_t> budgets(20, 8);
+  const Digraph g = random_profile(budgets, rng);
+  EXPECT_THROW((void)bbc_best_response(g, 0, 100), std::invalid_argument);
+}
+
+TEST(BbcVsUndirected, BraceIsWastedInBbcOnly) {
+  // Two players pointing at each other: in the undirected game a brace
+  // wastes an arc; in BBC both arcs are needed for mutual reachability.
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_TRUE(bbc_is_equilibrium(g));
+  EXPECT_EQ(bbc_cost(g, 0), 1U);
+  EXPECT_EQ(bbc_cost(g, 1), 1U);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,208 @@
+#include "game/best_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/cost.hpp"
+#include "game/strategy_eval.hpp"
+#include "graph/generators.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+namespace {
+
+/// Reference exact best response: enumerate every candidate via the slow
+/// rebuild path.
+std::pair<std::vector<Vertex>, std::uint64_t> brute_force(const Digraph& g, Vertex u,
+                                                          CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(u);
+  std::vector<Vertex> best;
+  std::uint64_t best_cost = ~0ULL;
+  for (CombinationIterator it(n - 1, b); it.valid(); it.advance()) {
+    std::vector<Vertex> heads;
+    for (const auto idx : it.current()) heads.push_back(idx >= u ? idx + 1 : idx);
+    Digraph copy = g;
+    copy.set_strategy(u, heads);
+    const std::uint64_t cost = vertex_cost(copy, u, version);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = heads;
+    }
+  }
+  return {best, best_cost};
+}
+
+TEST(ExactBestResponse, MatchesBruteForceOnRandomGames) {
+  Rng rng(201);
+  for (int round = 0; round < 10; ++round) {
+    const auto budgets = random_budgets(9, 11, rng);
+    const Digraph g = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const BestResponseSolver solver(version);
+      for (Vertex u = 0; u < 9; ++u) {
+        const auto [ref_strategy, ref_cost] = brute_force(g, u, version);
+        const BestResponse br = solver.exact(g, u);
+        EXPECT_EQ(br.cost, ref_cost) << "round " << round << " u " << u;
+        EXPECT_TRUE(br.exact);
+        EXPECT_EQ(br.evaluated, binomial(8, g.out_degree(u)));
+      }
+    }
+  }
+}
+
+TEST(ExactBestResponse, CostNeverAboveCurrent) {
+  Rng rng(202);
+  for (int round = 0; round < 10; ++round) {
+    const auto budgets = random_budgets(10, 12, rng);
+    const Digraph g = random_profile(budgets, rng);
+    const BestResponseSolver solver(CostVersion::Sum);
+    for (Vertex u = 0; u < 10; ++u) {
+      const BestResponse br = solver.exact(g, u);
+      EXPECT_LE(br.cost, br.current_cost);
+    }
+  }
+}
+
+TEST(ExactBestResponse, PathEndpointRelinksToCenter) {
+  // Path 0→1→2→3→4: player 0 owns one arc. Linking to vertex 2 leaves
+  // vertex 1 hanging one step away and 4 three steps away — local diameter
+  // 3, which is optimal (linking to 3 also gives 3; ties break to 2).
+  const Digraph g = path_digraph(5);
+  const BestResponseSolver solver(CostVersion::Max);
+  const BestResponse br = solver.exact(g, 0);
+  ASSERT_EQ(br.strategy.size(), 1U);
+  EXPECT_EQ(br.strategy[0], 2U);
+  EXPECT_EQ(br.cost, 3U);
+  EXPECT_TRUE(br.improves());  // current local diameter is 4
+}
+
+TEST(ExactBestResponse, ThrowsOverLimit) {
+  Rng rng(203);
+  const std::vector<std::uint32_t> budgets(20, 8);
+  const Digraph g = random_profile(budgets, rng);
+  const BestResponseSolver solver(CostVersion::Sum, /*exact_limit=*/100);
+  EXPECT_FALSE(solver.exact_feasible(g, 0));
+  EXPECT_THROW((void)solver.exact(g, 0), std::invalid_argument);
+}
+
+TEST(ExactBestResponse, ZeroBudgetPlayerTrivial) {
+  Digraph g(4);
+  g.add_arc(1, 0);
+  g.add_arc(2, 1);
+  g.add_arc(3, 1);
+  const BestResponseSolver solver(CostVersion::Sum);
+  const BestResponse br = solver.exact(g, 0);
+  EXPECT_TRUE(br.strategy.empty());
+  EXPECT_EQ(br.cost, br.current_cost);
+  EXPECT_EQ(br.evaluated, 1U);
+}
+
+TEST(ExactBestResponse, DeterministicTieBreaking) {
+  // A symmetric cycle: many strategies tie; the solver must break ties
+  // lexicographically and reproducibly.
+  const Digraph g = cycle_digraph(7);
+  const BestResponseSolver solver(CostVersion::Sum);
+  const BestResponse a = solver.exact(g, 3);
+  const BestResponse b = solver.exact(g, 3);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(ExactBestResponse, ParallelMatchesSerial) {
+  Rng rng(204);
+  const auto budgets = random_budgets(12, 18, rng);
+  const Digraph g = random_profile(budgets, rng);
+  ThreadPool serial(1), wide(4);
+  const BestResponseSolver solver(CostVersion::Max);
+  for (Vertex u = 0; u < 12; ++u) {
+    const BestResponse a = solver.exact(g, u, &serial);
+    const BestResponse b = solver.exact(g, u, &wide);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.strategy, b.strategy);  // deterministic merge
+  }
+}
+
+TEST(GreedyBestResponse, NeverBeatsExactButIsFeasible) {
+  Rng rng(205);
+  for (int round = 0; round < 8; ++round) {
+    const auto budgets = random_budgets(10, 14, rng);
+    const Digraph g = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const BestResponseSolver solver(version);
+      for (Vertex u = 0; u < 10; ++u) {
+        const BestResponse exact = solver.exact(g, u);
+        const BestResponse greedy = solver.greedy(g, u);
+        EXPECT_GE(greedy.cost, exact.cost);
+        EXPECT_EQ(greedy.strategy.size(), g.out_degree(u));
+      }
+    }
+  }
+}
+
+TEST(GreedyBestResponse, SingleArcIsExact) {
+  // With budget 1 greedy enumerates all candidates, so it matches exact.
+  Rng rng(206);
+  const std::vector<std::uint32_t> budgets(11, 1);
+  const Digraph g = random_profile(budgets, rng);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const BestResponseSolver solver(version);
+    for (Vertex u = 0; u < 11; ++u) {
+      EXPECT_EQ(solver.greedy(g, u).cost, solver.exact(g, u).cost);
+    }
+  }
+}
+
+TEST(SwapImprove, NeverWorseThanStart) {
+  Rng rng(207);
+  const auto budgets = random_budgets(10, 15, rng);
+  const Digraph g = random_profile(budgets, rng);
+  const BestResponseSolver solver(CostVersion::Sum);
+  for (Vertex u = 0; u < 10; ++u) {
+    const StrategyEvaluator eval(g, u, CostVersion::Sum);
+    const BestResponse br = solver.swap_improve(g, u);
+    EXPECT_LE(br.cost, eval.current_cost());
+  }
+}
+
+TEST(SwapImprove, ReachesLocalOptimum) {
+  Rng rng(208);
+  const auto budgets = random_budgets(9, 10, rng);
+  const Digraph g = random_profile(budgets, rng);
+  const BestResponseSolver solver(CostVersion::Max);
+  for (Vertex u = 0; u < 9; ++u) {
+    const BestResponse br = solver.swap_improve(g, u);
+    // Applying the returned strategy and swapping again gains nothing.
+    Digraph moved = g;
+    moved.set_strategy(u, br.strategy);
+    const BestResponse again = solver.swap_improve(moved, u);
+    EXPECT_EQ(again.cost, br.cost);
+  }
+}
+
+TEST(Solve, UsesExactWhenFeasibleElseHeuristic) {
+  Rng rng(209);
+  const auto budgets = random_budgets(10, 12, rng);
+  const Digraph g = random_profile(budgets, rng);
+  const BestResponseSolver tight(CostVersion::Sum, /*exact_limit=*/2);
+  const BestResponseSolver loose(CostVersion::Sum);
+  for (Vertex u = 0; u < 10; ++u) {
+    const BestResponse heur = tight.solve(g, u);
+    const BestResponse exact = loose.solve(g, u);
+    EXPECT_TRUE(exact.exact || g.out_degree(u) == 0 || !loose.exact_feasible(g, u));
+    EXPECT_GE(heur.cost, exact.cost);
+    EXPECT_LE(heur.cost, heur.current_cost + 0);  // heuristic may equal current
+  }
+}
+
+TEST(CandidateCount, MatchesBinomial) {
+  Digraph g(6);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(3, 0);
+  EXPECT_EQ(BestResponseSolver::candidate_count(g, 0), binomial(5, 2));
+  EXPECT_EQ(BestResponseSolver::candidate_count(g, 3), 5U);
+  EXPECT_EQ(BestResponseSolver::candidate_count(g, 5), 1U);
+}
+
+}  // namespace
+}  // namespace bbng

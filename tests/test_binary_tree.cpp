@@ -1,0 +1,81 @@
+// Theorem 3.4: the perfect binary tree is a SUM-version Tree-BG equilibrium
+// with diameter Θ(log n); Theorem 3.3's growth inequality holds along its
+// longest path.
+#include "constructions/binary_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/equilibrium.hpp"
+#include "graph/distances.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(BinaryTree, ShapeAndBudgets) {
+  const Digraph g = perfect_binary_tree(3);
+  EXPECT_EQ(g.num_vertices(), 15U);
+  EXPECT_EQ(g.num_arcs(), 14U);
+  EXPECT_TRUE(is_tree(g.underlying()));
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.out_degree(v), 2U);   // internal
+  for (Vertex v = 7; v < 15; ++v) EXPECT_EQ(g.out_degree(v), 0U);  // leaves
+}
+
+TEST(BinaryTree, DiameterIsTwoK) {
+  for (const std::uint32_t k : {0U, 1U, 2U, 4U, 7U, 10U}) {
+    const Digraph g = perfect_binary_tree(k);
+    EXPECT_EQ(perfect_binary_tree_size(k), g.num_vertices());
+    EXPECT_EQ(tree_diameter(g.underlying()), 2 * k) << "k=" << k;
+  }
+}
+
+TEST(BinaryTree, IsSumEquilibriumExactly) {
+  for (const std::uint32_t k : {1U, 2U, 3U}) {
+    const Digraph g = perfect_binary_tree(k);
+    const auto report = verify_equilibrium(g, CostVersion::Sum);
+    EXPECT_TRUE(report.stable) << "k=" << k << ": player " << report.deviator << " improves "
+                               << report.old_cost << " → " << report.new_cost;
+  }
+}
+
+TEST(BinaryTree, SwapStableAtLargerSizes) {
+  // Exact verification is exponential in budgets; swap-stability (a
+  // necessary condition) is checked at bigger k.
+  for (const std::uint32_t k : {4U, 5U, 6U}) {
+    const Digraph g = perfect_binary_tree(k);
+    EXPECT_TRUE(verify_swap_equilibrium(g, CostVersion::Sum).stable) << "k=" << k;
+  }
+}
+
+TEST(BinaryTree, Theorem33GrowthChainHolds) {
+  // Along a longest path of a SUM tree equilibrium, the attachment sizes
+  // a(i_j + 1) ≥ Σ_{k > i_j+1} a(k) for forward-owned arcs; we check the
+  // weaker, orientation-free consequence that the diameter is ≤ c·log2(n).
+  for (const std::uint32_t k : {2U, 4U, 6U, 8U}) {
+    const Digraph g = perfect_binary_tree(k);
+    const UGraph u = g.underlying();
+    const double n = static_cast<double>(g.num_vertices());
+    EXPECT_LE(tree_diameter(u), 2.0 * std::log2(n) + 2.0) << "k=" << k;
+  }
+}
+
+TEST(BinaryTree, RootHasMinimalSumCost) {
+  // "vertex u_j has less total distance to vertices in T_j than any other
+  // vertex of T_j" — at the root this means the root minimises cSUM.
+  const Digraph g = perfect_binary_tree(4);
+  const UGraph u = g.underlying();
+  BfsRunner runner(g.num_vertices());
+  std::uint64_t root_cost = 0;
+  std::vector<std::uint64_t> costs(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    runner.run(u, v);
+    costs[v] = runner.sum_dist();
+    if (v == 0) root_cost = costs[v];
+  }
+  for (Vertex v = 1; v < g.num_vertices(); ++v) EXPECT_LE(root_cost, costs[v]);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,108 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbng {
+namespace {
+
+TEST(Cli, DefaultsSurviveEmptyParse) {
+  Cli cli("prog", "test");
+  auto n = cli.add_int("n", 42, "count");
+  auto p = cli.add_double("p", 0.5, "prob");
+  auto s = cli.add_string("mode", "sum", "cost version");
+  auto f = cli.add_flag("csv", "csv output");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*p, 0.5);
+  EXPECT_EQ(*s, "sum");
+  EXPECT_FALSE(*f);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  Cli cli("prog", "test");
+  auto n = cli.add_int("n", 0, "count");
+  auto p = cli.add_double("p", 0, "prob");
+  const char* argv[] = {"prog", "--n", "17", "--p", "0.25"};
+  cli.parse(5, argv);
+  EXPECT_EQ(*n, 17);
+  EXPECT_DOUBLE_EQ(*p, 0.25);
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  Cli cli("prog", "test");
+  auto n = cli.add_int("n", 0, "count");
+  auto s = cli.add_string("mode", "", "mode");
+  const char* argv[] = {"prog", "--n=9", "--mode=max"};
+  cli.parse(3, argv);
+  EXPECT_EQ(*n, 9);
+  EXPECT_EQ(*s, "max");
+}
+
+TEST(Cli, FlagSetsTrue) {
+  Cli cli("prog", "test");
+  auto f = cli.add_flag("csv", "csv");
+  const char* argv[] = {"prog", "--csv"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(*f);
+}
+
+TEST(Cli, NegativeIntegers) {
+  Cli cli("prog", "test");
+  auto n = cli.add_int("delta", 0, "delta");
+  const char* argv[] = {"prog", "--delta", "-5"};
+  cli.parse(3, argv);
+  EXPECT_EQ(*n, -5);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("prog", "test");
+  (void)cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  Cli cli("prog", "test");
+  (void)cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n", "twelve"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  Cli cli("prog", "test");
+  (void)cli.add_flag("csv", "csv");
+  const char* argv[] = {"prog", "--csv=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, DuplicateOptionRegistrationThrows) {
+  Cli cli("prog", "test");
+  (void)cli.add_int("n", 0, "count");
+  EXPECT_THROW((void)cli.add_flag("n", "dup"), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsAllOptions) {
+  Cli cli("prog", "does things");
+  (void)cli.add_int("n", 3, "count");
+  (void)cli.add_flag("csv", "csv output");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbng

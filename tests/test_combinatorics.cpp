@@ -1,0 +1,127 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bbng {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1U);
+  EXPECT_EQ(binomial(5, 0), 1U);
+  EXPECT_EQ(binomial(5, 5), 1U);
+  EXPECT_EQ(binomial(5, 2), 10U);
+  EXPECT_EQ(binomial(10, 3), 120U);
+  EXPECT_EQ(binomial(52, 5), 2598960U);
+}
+
+TEST(Binomial, KGreaterThanNIsZero) {
+  EXPECT_EQ(binomial(3, 4), 0U);
+  EXPECT_EQ(binomial(0, 1), 0U);
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint64_t n = 0; n < 20; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::uint64_t n = 1; n < 30; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, ClampsInsteadOfOverflowing) {
+  const std::uint64_t clamp = 1000;
+  EXPECT_EQ(binomial(100, 50, clamp), clamp);
+  EXPECT_EQ(binomial(64, 32, clamp), clamp);
+  // Values below the clamp are exact.
+  EXPECT_EQ(binomial(12, 6, clamp), 924U);
+}
+
+TEST(CombinationIterator, EnumeratesAllSubsetsInLexOrder) {
+  std::vector<std::vector<std::uint32_t>> seen;
+  for (CombinationIterator it(4, 2); it.valid(); it.advance()) {
+    seen.emplace_back(it.current().begin(), it.current().end());
+  }
+  const std::vector<std::vector<std::uint32_t>> expected{
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(CombinationIterator, CountMatchesBinomial) {
+  for (std::uint32_t n = 0; n <= 10; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      std::uint64_t count = 0;
+      for (CombinationIterator it(n, k); it.valid(); it.advance()) ++count;
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinationIterator, EmptySubsetOnce) {
+  CombinationIterator it(5, 0);
+  ASSERT_TRUE(it.valid());
+  EXPECT_TRUE(it.current().empty());
+  it.advance();
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(CombinationIterator, KGreaterThanNIsInvalid) {
+  CombinationIterator it(2, 3);
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(CombinationIterator, FullSubsetOnce) {
+  CombinationIterator it(3, 3);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.current().size(), 3U);
+  it.advance();
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(CombinationIterator, ResetRestarts) {
+  CombinationIterator it(5, 2);
+  it.advance();
+  it.advance();
+  it.reset();
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.current()[0], 0U);
+  EXPECT_EQ(it.current()[1], 1U);
+}
+
+TEST(CombinationIterator, AllSubsetsDistinct) {
+  std::set<std::vector<std::uint32_t>> seen;
+  for (CombinationIterator it(9, 4); it.valid(); it.advance()) {
+    seen.emplace(it.current().begin(), it.current().end());
+  }
+  EXPECT_EQ(seen.size(), binomial(9, 4));
+}
+
+TEST(ForEachCombination, EarlyStopHonoured) {
+  std::uint64_t calls = 0;
+  const std::uint64_t visited = for_each_combination(6, 3, [&](auto) {
+    ++calls;
+    return calls < 5;
+  });
+  EXPECT_EQ(calls, 5U);
+  EXPECT_EQ(visited, 5U);
+}
+
+TEST(ForEachCombination, VisitsEverything) {
+  std::uint64_t calls = 0;
+  const std::uint64_t visited = for_each_combination(7, 2, [&](auto) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(visited, binomial(7, 2));
+  EXPECT_EQ(calls, visited);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,155 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Components, CountsAndLabels) {
+  UGraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3U);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comps.id[0], comps.id[2]);
+  EXPECT_EQ(comps.id[3], comps.id[4]);
+  EXPECT_NE(comps.id[0], comps.id[3]);
+  EXPECT_NE(comps.id[0], comps.id[5]);
+}
+
+TEST(Components, EmptyAndSingleton) {
+  EXPECT_EQ(connected_components(UGraph(0)).count, 0U);
+  EXPECT_EQ(connected_components(UGraph(1)).count, 1U);
+  EXPECT_TRUE(is_connected(UGraph(0)));
+  EXPECT_TRUE(is_connected(UGraph(1)));
+}
+
+TEST(Components, ConnectedGraph) {
+  EXPECT_TRUE(is_connected(cycle_ugraph(5)));
+  EXPECT_TRUE(is_connected(complete_ugraph(4)));
+  UGraph g(2);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(LocalConnectivity, PathEndpoints) {
+  const UGraph g = path_ugraph(5);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 4), 1U);
+}
+
+TEST(LocalConnectivity, CycleHasTwoDisjointPaths) {
+  const UGraph g = cycle_ugraph(6);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 3), 2U);
+}
+
+TEST(LocalConnectivity, AdjacentPairRejected) {
+  const UGraph g = path_ugraph(3);
+  EXPECT_THROW((void)local_vertex_connectivity(g, 0, 1), std::invalid_argument);
+}
+
+TEST(VertexConnectivity, PathIsOne) {
+  EXPECT_EQ(vertex_connectivity(path_ugraph(6)), 1U);
+}
+
+TEST(VertexConnectivity, CycleIsTwo) {
+  EXPECT_EQ(vertex_connectivity(cycle_ugraph(7)), 2U);
+}
+
+TEST(VertexConnectivity, CompleteIsNMinusOne) {
+  EXPECT_EQ(vertex_connectivity(complete_ugraph(5)), 4U);
+}
+
+TEST(VertexConnectivity, DisconnectedIsZero) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(vertex_connectivity(g), 0U);
+}
+
+TEST(VertexConnectivity, TrivialGraphs) {
+  EXPECT_EQ(vertex_connectivity(UGraph(0)), 0U);
+  EXPECT_EQ(vertex_connectivity(UGraph(1)), 0U);
+}
+
+TEST(VertexConnectivity, CutVertexDetected) {
+  // Two triangles sharing vertex 2: κ = 1.
+  UGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  EXPECT_EQ(vertex_connectivity(g), 1U);
+}
+
+TEST(VertexConnectivity, GridIsTwo) {
+  EXPECT_EQ(vertex_connectivity(grid_graph(3, 4)), 2U);
+}
+
+TEST(VertexConnectivity, CompleteBipartite) {
+  // K_{3,4}: κ = 3.
+  UGraph g(7);
+  for (Vertex a = 0; a < 3; ++a) {
+    for (Vertex b = 3; b < 7; ++b) g.add_edge(a, b);
+  }
+  EXPECT_EQ(vertex_connectivity(g), 3U);
+}
+
+TEST(VertexConnectivity, HypercubeQ3) {
+  // Q3: κ = 3.
+  UGraph g(8);
+  for (Vertex u = 0; u < 8; ++u) {
+    for (int bit = 0; bit < 3; ++bit) {
+      const Vertex v = u ^ (1U << bit);
+      if (v > u) g.add_edge(u, v);
+    }
+  }
+  EXPECT_EQ(vertex_connectivity(g), 3U);
+}
+
+TEST(IsKConnected, ThresholdBehaviour) {
+  const UGraph g = cycle_ugraph(8);
+  EXPECT_TRUE(is_k_connected(g, 0));
+  EXPECT_TRUE(is_k_connected(g, 1));
+  EXPECT_TRUE(is_k_connected(g, 2));
+  EXPECT_FALSE(is_k_connected(g, 3));
+}
+
+TEST(IsKConnected, SmallGraphCannotBeHighlyConnected) {
+  EXPECT_FALSE(is_k_connected(complete_ugraph(3), 3));  // needs > k vertices
+  EXPECT_TRUE(is_k_connected(complete_ugraph(4), 3));
+}
+
+TEST(VertexConnectivity, MatchesBruteForceOnRandomGraphs) {
+  // Brute force: κ = min size of a vertex subset whose removal disconnects
+  // (or n-1 for complete graphs).
+  Rng rng(123);
+  for (int round = 0; round < 8; ++round) {
+    const UGraph g = connected_erdos_renyi(9, 0.3, rng);
+    const std::uint32_t n = g.num_vertices();
+    std::uint32_t brute = n - 1;
+    for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+      const auto removed = static_cast<std::uint32_t>(__builtin_popcount(mask));
+      if (removed >= brute || n - removed < 2) continue;
+      // Build the induced subgraph on the kept vertices.
+      std::vector<Vertex> keep;
+      for (Vertex v = 0; v < n; ++v) {
+        if (!(mask & (1U << v))) keep.push_back(v);
+      }
+      UGraph sub(static_cast<std::uint32_t>(keep.size()));
+      for (std::uint32_t a = 0; a < keep.size(); ++a) {
+        for (std::uint32_t b = a + 1; b < keep.size(); ++b) {
+          if (g.has_edge(keep[a], keep[b])) sub.add_edge(a, b);
+        }
+      }
+      if (!is_connected(sub)) brute = removed;
+    }
+    EXPECT_EQ(vertex_connectivity(g), brute) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,148 @@
+#include "graph/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(FunctionalCycle, PureCycle) {
+  const Digraph g = cycle_digraph(5);
+  const auto cycle = functional_cycle(g, 0);
+  EXPECT_EQ(cycle.size(), 5U);
+}
+
+TEST(FunctionalCycle, RhoShape) {
+  // 0→1→2→3→1 : tail 0, cycle {1,2,3}.
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  g.add_arc(3, 1);
+  const auto cycle = functional_cycle(g, 0);
+  const std::set<Vertex> expected{1, 2, 3};
+  EXPECT_EQ(std::set<Vertex>(cycle.begin(), cycle.end()), expected);
+}
+
+TEST(FunctionalCycle, BraceIsTwoCycle) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  const auto cycle = functional_cycle(g, 2);
+  EXPECT_EQ(cycle.size(), 2U);
+}
+
+TEST(FunctionalCycle, StartOnCycleReturnsWholeCycle) {
+  const Digraph g = cycle_digraph(7);
+  for (Vertex s = 0; s < 7; ++s) EXPECT_EQ(functional_cycle(g, s).size(), 7U);
+}
+
+TEST(PeelToCore, CycleWithPendants) {
+  // Cycle 0→1→2→0 plus pendants 3→0, 4→3.
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  g.add_arc(3, 0);
+  g.add_arc(4, 3);
+  const auto core = peel_to_core(g);
+  EXPECT_EQ(std::set<Vertex>(core.begin(), core.end()), (std::set<Vertex>{0, 1, 2}));
+}
+
+TEST(PeelToCore, TreePeelsToNothing) {
+  Digraph g(4);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  g.add_arc(3, 1);
+  EXPECT_TRUE(peel_to_core(g).empty());
+}
+
+TEST(PeelToCore, BraceSurvivesAsMultigraphCore) {
+  // Brace {0,1} with a pendant 2→1: the brace is a 2-cycle and must remain.
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(2, 1);
+  const auto core = peel_to_core(g);
+  EXPECT_EQ(std::set<Vertex>(core.begin(), core.end()), (std::set<Vertex>{0, 1}));
+}
+
+TEST(DistancesToSet, CyclePlusTail) {
+  UGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Vertex cycle[] = {0, 1, 2};
+  const auto d = distances_to_set(g, cycle);
+  EXPECT_EQ(d[0], 0U);
+  EXPECT_EQ(d[3], 1U);
+  EXPECT_EQ(d[4], 2U);
+}
+
+TEST(AnalyzeUnicyclic, PureCycleProfile) {
+  const Digraph g = cycle_digraph(6);
+  const auto profile = analyze_unicyclic(g);
+  EXPECT_TRUE(profile.connected);
+  EXPECT_TRUE(profile.unicyclic);
+  EXPECT_EQ(profile.cycle_length, 6U);
+  EXPECT_EQ(profile.max_dist_to_cycle, 0U);
+}
+
+TEST(AnalyzeUnicyclic, CycleWithTails) {
+  // Cycle {0,1,2}; tails 3→0 and 4→3 (distance 2 from the cycle).
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  g.add_arc(3, 0);
+  g.add_arc(4, 3);
+  const auto profile = analyze_unicyclic(g);
+  EXPECT_TRUE(profile.connected);
+  EXPECT_EQ(profile.cycle_length, 3U);
+  EXPECT_EQ(profile.max_dist_to_cycle, 2U);
+}
+
+TEST(AnalyzeUnicyclic, DisconnectedDetected) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(2, 3);
+  g.add_arc(3, 2);
+  const auto profile = analyze_unicyclic(g);
+  EXPECT_FALSE(profile.connected);
+}
+
+TEST(AnalyzeUnicyclic, RequiresOutdegreeOne) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  EXPECT_THROW((void)analyze_unicyclic(g), std::invalid_argument);
+}
+
+TEST(AnalyzeUnicyclic, RandomFunctionalGraphsAreConsistent) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<std::uint32_t> budgets(12, 1);
+    const Digraph g = random_profile(budgets, rng);
+    const UGraph u = g.underlying();
+    if (!is_connected(u)) continue;
+    const auto profile = analyze_unicyclic(g);
+    EXPECT_TRUE(profile.unicyclic);
+    EXPECT_GE(profile.cycle_length, 2U);
+    // Cycle vertices + attached trees must cover everything within n steps.
+    EXPECT_LT(profile.max_dist_to_cycle, 12U);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,161 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g(5);
+  EXPECT_EQ(g.num_vertices(), 5U);
+  EXPECT_EQ(g.num_arcs(), 0U);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0U);
+}
+
+TEST(Digraph, AddRemoveArc) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 3);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_EQ(g.out_degree(0), 2U);
+  EXPECT_EQ(g.num_arcs(), 2U);
+  g.remove_arc(0, 1);
+  EXPECT_FALSE(g.has_arc(0, 1));
+  EXPECT_EQ(g.num_arcs(), 1U);
+}
+
+TEST(Digraph, OutNeighborsSorted) {
+  Digraph g(6);
+  g.add_arc(2, 5);
+  g.add_arc(2, 1);
+  g.add_arc(2, 3);
+  const auto nbrs = g.out_neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3U);
+  EXPECT_EQ(nbrs[0], 1U);
+  EXPECT_EQ(nbrs[1], 3U);
+  EXPECT_EQ(nbrs[2], 5U);
+}
+
+TEST(Digraph, SelfLoopRejected) {
+  Digraph g(3);
+  EXPECT_THROW(g.add_arc(1, 1), std::invalid_argument);
+}
+
+TEST(Digraph, DuplicateArcRejected) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  EXPECT_THROW(g.add_arc(0, 1), std::invalid_argument);
+}
+
+TEST(Digraph, RemoveMissingArcRejected) {
+  Digraph g(3);
+  EXPECT_THROW(g.remove_arc(0, 1), std::invalid_argument);
+}
+
+TEST(Digraph, BraceAllowedAndDetected) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_TRUE(g.is_brace(0, 1));
+  EXPECT_TRUE(g.is_brace(1, 0));
+  EXPECT_TRUE(g.in_brace(0));
+  EXPECT_TRUE(g.in_brace(1));
+  EXPECT_FALSE(g.in_brace(2));
+  EXPECT_EQ(g.brace_count(), 1U);
+}
+
+TEST(Digraph, NoBraceInSimpleChain) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  EXPECT_FALSE(g.in_brace(0));
+  EXPECT_FALSE(g.in_brace(1));
+  EXPECT_EQ(g.brace_count(), 0U);
+}
+
+TEST(Digraph, SetStrategyReplacesArcs) {
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  const Vertex heads[] = {3, 4};
+  g.set_strategy(0, heads);
+  EXPECT_FALSE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(0, 3));
+  EXPECT_TRUE(g.has_arc(0, 4));
+  EXPECT_EQ(g.num_arcs(), 2U);
+}
+
+TEST(Digraph, SetStrategyRejectsDuplicates) {
+  Digraph g(5);
+  const Vertex heads[] = {1, 1};
+  EXPECT_THROW(g.set_strategy(0, heads), std::invalid_argument);
+}
+
+TEST(Digraph, SetStrategyRejectsSelf) {
+  Digraph g(5);
+  const Vertex heads[] = {0, 1};
+  EXPECT_THROW(g.set_strategy(0, heads), std::invalid_argument);
+}
+
+TEST(Digraph, BudgetsMatchOutDegrees) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(3, 0);
+  const auto b = g.budgets();
+  EXPECT_EQ(b, (std::vector<std::uint32_t>{2, 0, 0, 1}));
+}
+
+TEST(Digraph, MultiDegreeCountsBraceTwice) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  EXPECT_EQ(g.multi_degree(0), 3U);  // owns 0→1, receives 1→0 and 2→0
+  EXPECT_EQ(g.multi_degree(1), 2U);
+  EXPECT_EQ(g.multi_degree(2), 1U);
+}
+
+TEST(Digraph, UnderlyingCollapsesBrace) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(1, 2);
+  const UGraph u = g.underlying();
+  EXPECT_EQ(u.num_edges(), 2U);
+  EXPECT_TRUE(u.has_edge(0, 1));
+  EXPECT_TRUE(u.has_edge(1, 2));
+}
+
+TEST(Digraph, HashIsStructural) {
+  Digraph a(4), b(4);
+  a.add_arc(0, 1);
+  a.add_arc(2, 3);
+  b.add_arc(2, 3);
+  b.add_arc(0, 1);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Digraph, HashDistinguishesDirection) {
+  Digraph a(2), b(2);
+  a.add_arc(0, 1);
+  b.add_arc(1, 0);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Digraph, HashChangesWithStrategy) {
+  Digraph g(5);
+  g.add_arc(0, 1);
+  const std::uint64_t h1 = g.hash();
+  const Vertex heads[] = {2};
+  g.set_strategy(0, heads);
+  EXPECT_NE(g.hash(), h1);
+}
+
+}  // namespace
+}  // namespace bbng

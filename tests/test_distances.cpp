@@ -1,0 +1,129 @@
+#include "graph/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Distances, PathEccentricities) {
+  const UGraph g = path_ugraph(5);
+  const auto result = eccentricities(g);
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.diameter, 4U);
+  EXPECT_EQ(result.radius, 2U);
+  EXPECT_EQ(result.ecc[0], 4U);
+  EXPECT_EQ(result.ecc[2], 2U);
+}
+
+TEST(Distances, CycleDiameter) {
+  EXPECT_EQ(diameter(cycle_ugraph(8)), 4U);
+  EXPECT_EQ(diameter(cycle_ugraph(9)), 4U);
+}
+
+TEST(Distances, CompleteGraphDiameterOne) {
+  EXPECT_EQ(diameter(complete_ugraph(6)), 1U);
+}
+
+TEST(Distances, SingleVertex) {
+  const auto result = eccentricities(UGraph(1));
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.diameter, 0U);
+}
+
+TEST(Distances, DisconnectedDiameterIsSentinel) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  EXPECT_EQ(diameter(g), kUnreachable);
+  const auto result = eccentricities(g);
+  EXPECT_FALSE(result.connected);
+}
+
+TEST(Distances, GridDiameter) {
+  EXPECT_EQ(diameter(grid_graph(3, 5)), 6U);
+}
+
+TEST(Distances, EccentricityOfSingleVertex) {
+  const UGraph g = path_ugraph(7);
+  EXPECT_EQ(eccentricity(g, 3), 3U);
+  EXPECT_EQ(eccentricity(g, 0), 6U);
+}
+
+TEST(Distances, SumOfDistancesConnected) {
+  const UGraph g = path_ugraph(4);
+  EXPECT_EQ(sum_of_distances(g, 0, 16), 1U + 2 + 3);
+  EXPECT_EQ(sum_of_distances(g, 1, 16), 1U + 1 + 2);
+}
+
+TEST(Distances, SumOfDistancesCountsCinf) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  EXPECT_EQ(sum_of_distances(g, 0, 16), 1U + 16 + 16);
+}
+
+TEST(Distances, ApspMatchesPairwiseBfs) {
+  Rng rng(5);
+  const UGraph g = connected_erdos_renyi(20, 0.15, rng);
+  const auto matrix = apsp(g);
+  for (Vertex u = 0; u < 20; ++u) {
+    const auto row = bfs_distances(g, u);
+    EXPECT_EQ(matrix[u], row);
+  }
+}
+
+TEST(Distances, ApspSymmetry) {
+  Rng rng(6);
+  const UGraph g = connected_erdos_renyi(15, 0.2, rng);
+  const auto matrix = apsp(g);
+  for (Vertex u = 0; u < 15; ++u) {
+    for (Vertex v = 0; v < 15; ++v) EXPECT_EQ(matrix[u][v], matrix[v][u]);
+  }
+}
+
+TEST(Distances, AverageDistancePath) {
+  // Path on 3 vertices: distances 1,1,2 in each direction → mean 4/3.
+  const auto avg = average_distance(path_ugraph(3));
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_NEAR(*avg, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Distances, AverageDistanceDisconnectedIsNull) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(average_distance(g).has_value());
+}
+
+TEST(Distances, DiameterLowerBoundExactOnTrees) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const Digraph t = random_tree_digraph(40, rng);
+    const UGraph g = t.underlying();
+    const std::uint32_t exact = diameter(g);
+    Rng sweep_rng(round);
+    EXPECT_EQ(diameter_lower_bound(g, 2, sweep_rng), exact);
+  }
+}
+
+TEST(Distances, DiameterLowerBoundNeverExceedsDiameter) {
+  Rng rng(9);
+  const UGraph g = connected_erdos_renyi(60, 0.05, rng);
+  const std::uint32_t exact = diameter(g);
+  Rng sweep_rng(1);
+  EXPECT_LE(diameter_lower_bound(g, 4, sweep_rng), exact);
+}
+
+TEST(Distances, ParallelAndSerialAgree) {
+  Rng rng(10);
+  const UGraph g = connected_erdos_renyi(64, 0.08, rng);
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  const auto a = eccentricities(g, &serial);
+  const auto b = eccentricities(g, &wide);
+  EXPECT_EQ(a.ecc, b.ecc);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_EQ(a.radius, b.radius);
+}
+
+}  // namespace
+}  // namespace bbng

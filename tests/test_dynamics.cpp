@@ -1,0 +1,147 @@
+#include "game/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/equilibrium.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/cycles.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Dynamics, UnitBudgetGamesConvergeToNash) {
+  Rng rng(401);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<std::uint32_t> budgets(10, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      DynamicsConfig config;
+      config.version = version;
+      config.max_rounds = 200;
+      config.seed = static_cast<std::uint64_t>(round);
+      const DynamicsResult result = run_best_response_dynamics(initial, config);
+      ASSERT_TRUE(result.converged) << "round " << round << " " << to_string(version);
+      EXPECT_TRUE(result.all_moves_exact);
+      EXPECT_TRUE(verify_equilibrium(result.graph, version).stable);
+    }
+  }
+}
+
+TEST(Dynamics, ConvergedStateKeepsBudgets) {
+  Rng rng(402);
+  const auto budgets = random_budgets(9, 10, rng);
+  const Digraph initial = random_profile(budgets, rng);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  EXPECT_EQ(result.graph.budgets(), budgets);
+}
+
+TEST(Dynamics, AlreadyEquilibriumMakesNoMoves) {
+  const Digraph g = star_digraph(6);
+  DynamicsConfig config;
+  config.version = CostVersion::Max;
+  const DynamicsResult result = run_best_response_dynamics(g, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.moves, 0U);
+  EXPECT_EQ(result.rounds, 1U);
+  EXPECT_TRUE(result.graph == g);
+}
+
+TEST(Dynamics, ConnectsDisconnectedStartWhenBudgetsAllow) {
+  // σ ≥ n−1 ⇒ equilibria are connected (Lemma 3.1); dynamics must leave any
+  // disconnected start.
+  Rng rng(403);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::uint32_t> budgets(8, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      DynamicsConfig config;
+      config.version = version;
+      config.max_rounds = 300;
+      const DynamicsResult result = run_best_response_dynamics(initial, config);
+      ASSERT_TRUE(result.converged);
+      EXPECT_TRUE(is_connected(result.graph.underlying()));
+    }
+  }
+}
+
+TEST(Dynamics, RandomPermutationScheduleAlsoConverges) {
+  Rng rng(404);
+  const std::vector<std::uint32_t> budgets(9, 1);
+  const Digraph initial = random_profile(budgets, rng);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.schedule = Schedule::RandomPermutation;
+  config.seed = 99;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(verify_equilibrium(result.graph, CostVersion::Sum).stable);
+}
+
+TEST(Dynamics, UniformRandomScheduleNeverClaimsConvergence) {
+  const Digraph g = star_digraph(5);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.schedule = Schedule::UniformRandom;
+  config.max_rounds = 5;
+  const DynamicsResult result = run_best_response_dynamics(g, config);
+  EXPECT_FALSE(result.converged);  // by design: random picks cannot certify
+  EXPECT_EQ(result.moves, 0U);
+}
+
+TEST(Dynamics, DeterministicForFixedSeed) {
+  Rng rng(405);
+  const auto budgets = random_budgets(8, 9, rng);
+  const Digraph initial = random_profile(budgets, rng);
+  DynamicsConfig config;
+  config.version = CostVersion::Max;
+  config.schedule = Schedule::RandomPermutation;
+  config.seed = 7;
+  const DynamicsResult a = run_best_response_dynamics(initial, config);
+  const DynamicsResult b = run_best_response_dynamics(initial, config);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Dynamics, TreeInstanceConvergesToTreeEquilibrium) {
+  Rng rng(406);
+  for (int round = 0; round < 5; ++round) {
+    const Digraph initial = random_tree_digraph(10, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 300;
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    ASSERT_TRUE(result.converged);
+    // σ = n−1 and connected ⇒ the equilibrium is a tree.
+    EXPECT_EQ(result.graph.num_arcs(), 9U);
+    EXPECT_TRUE(is_connected(result.graph.underlying()));
+    EXPECT_EQ(result.graph.underlying().num_edges(), 9U);
+  }
+}
+
+TEST(Dynamics, MovesCountedAndEvaluationsPositive) {
+  const Digraph initial = path_digraph(8);
+  DynamicsConfig config;
+  config.version = CostVersion::Max;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.moves, 0U);
+  EXPECT_GT(result.evaluations, 0U);
+}
+
+TEST(Dynamics, RespectsMaxRounds) {
+  Rng rng(407);
+  const auto budgets = random_budgets(12, 20, rng);
+  const Digraph initial = random_profile(budgets, rng);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.max_rounds = 1;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  EXPECT_LE(result.rounds, 1U);
+}
+
+}  // namespace
+}  // namespace bbng

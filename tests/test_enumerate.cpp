@@ -1,0 +1,135 @@
+#include "game/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "game/cost.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/generators.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(ProfileSpace, ProductOfBinomials) {
+  EXPECT_EQ(profile_space_size(BudgetGame({1, 1, 1})), 8U);          // 2^3
+  EXPECT_EQ(profile_space_size(BudgetGame({2, 0, 0})), 1U);          // C(2,2)
+  EXPECT_EQ(profile_space_size(BudgetGame({1, 1, 1, 1})), 81U);      // 3^4
+  EXPECT_EQ(profile_space_size(BudgetGame({2, 1, 0, 0})), 9U);       // C(3,2)*3
+}
+
+TEST(ProfileSpace, Clamps) {
+  const BudgetGame big(std::vector<std::uint32_t>(16, 7));
+  EXPECT_EQ(profile_space_size(big, 1000), 1000U);
+}
+
+TEST(ForEachRealization, VisitsExactlyTheProfileSpace) {
+  const BudgetGame game({1, 1, 1, 1});
+  std::uint64_t count = 0;
+  const std::uint64_t visited = for_each_realization(game, [&](const Digraph& g) {
+    ++count;
+    EXPECT_TRUE(game.is_realization(g));
+    return true;
+  });
+  EXPECT_EQ(visited, 81U);
+  EXPECT_EQ(count, 81U);
+}
+
+TEST(ForEachRealization, AllProfilesDistinct) {
+  const BudgetGame game({1, 2, 1});
+  std::set<std::uint64_t> hashes;
+  for_each_realization(game, [&](const Digraph& g) {
+    EXPECT_TRUE(hashes.insert(g.hash()).second) << "duplicate profile";
+    return true;
+  });
+  EXPECT_EQ(hashes.size(), 2U * 1 * 2);  // C(2,1)*C(2,2)*C(2,1)
+}
+
+TEST(ForEachRealization, EarlyStop) {
+  const BudgetGame game({1, 1, 1, 1});
+  std::uint64_t count = 0;
+  const std::uint64_t visited = for_each_realization(game, [&](const Digraph&) {
+    return ++count < 10;
+  });
+  EXPECT_EQ(visited, 10U);
+}
+
+TEST(ForEachRealization, OverLimitThrows) {
+  const BudgetGame game(std::vector<std::uint32_t>(12, 5));
+  EXPECT_THROW(
+      (void)for_each_realization(game, [](const Digraph&) { return true; }, 1000),
+      std::invalid_argument);
+}
+
+TEST(ExhaustiveAnalysis, TwoPlayerGame) {
+  // Budgets (1,1): the unique realization shape is the brace — 1 profile,
+  // it is an equilibrium, diameter 1.
+  const auto analysis = exhaustive_analysis(BudgetGame({1, 1}), CostVersion::Sum);
+  EXPECT_EQ(analysis.profiles, 1U);
+  EXPECT_EQ(analysis.equilibria, 1U);
+  EXPECT_EQ(analysis.opt_diameter, 1U);
+  EXPECT_DOUBLE_EQ(analysis.price_of_anarchy, 1.0);
+}
+
+TEST(ExhaustiveAnalysis, EquilibriaAgreeWithVerifier) {
+  // Cross-validate the enumeration's equilibrium set against
+  // verify_equilibrium on every profile of a small game.
+  const BudgetGame game({1, 1, 1, 0});
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    std::uint64_t equilibria_by_verifier = 0;
+    for_each_realization(game, [&](const Digraph& g) {
+      equilibria_by_verifier += verify_equilibrium(g, version).stable ? 1 : 0;
+      return true;
+    });
+    const auto analysis = exhaustive_analysis(game, version);
+    EXPECT_EQ(analysis.equilibria, equilibria_by_verifier) << to_string(version);
+  }
+}
+
+TEST(ExhaustiveAnalysis, UnitBudgetPoAIsConstant) {
+  // Theorems 4.1/4.2 at ground truth: exact PoA of tiny (1,…,1) games.
+  for (const std::uint32_t n : {4U, 5U}) {
+    const BudgetGame game(std::vector<std::uint32_t>(n, 1));
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const auto analysis = exhaustive_analysis(game, version);
+      EXPECT_GT(analysis.equilibria, 0U);
+      EXPECT_LT(analysis.worst_equilibrium_diameter,
+                version == CostVersion::Sum ? 5U : 8U);
+      EXPECT_LE(analysis.price_of_anarchy, 4.0) << "n=" << n << " " << to_string(version);
+    }
+  }
+}
+
+TEST(ExhaustiveAnalysis, WorstWitnessIsAnEquilibrium) {
+  const BudgetGame game(std::vector<std::uint32_t>(5, 1));
+  const auto analysis = exhaustive_analysis(game, CostVersion::Max);
+  ASSERT_TRUE(analysis.worst_equilibrium.has_value());
+  EXPECT_TRUE(verify_equilibrium(*analysis.worst_equilibrium, CostVersion::Max).stable);
+  EXPECT_EQ(social_cost(analysis.worst_equilibrium->underlying()),
+            analysis.worst_equilibrium_diameter);
+}
+
+TEST(ExhaustiveAnalysis, DisconnectedGameOptIsCinf) {
+  // σ < n−1: every realization disconnected, opt = n², PoA = 1.
+  const BudgetGame game({0, 0, 1});
+  const auto analysis = exhaustive_analysis(game, CostVersion::Sum);
+  EXPECT_EQ(analysis.opt_diameter, 9U);
+  EXPECT_GT(analysis.equilibria, 0U);
+  EXPECT_DOUBLE_EQ(analysis.price_of_anarchy, 1.0);
+}
+
+TEST(ExhaustiveAnalysis, PoSNeverExceedsPoA) {
+  Rng rng(3141);
+  for (int round = 0; round < 4; ++round) {
+    const auto budgets = random_budgets(5, 4 + rng.next_below(3), rng);
+    const auto analysis = exhaustive_analysis(BudgetGame(budgets), CostVersion::Sum);
+    if (analysis.equilibria == 0) continue;
+    EXPECT_LE(analysis.price_of_stability, analysis.price_of_anarchy + 1e-12);
+    EXPECT_LE(analysis.best_equilibrium_diameter, analysis.worst_equilibrium_diameter);
+    EXPECT_LE(analysis.opt_diameter, analysis.best_equilibrium_diameter);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

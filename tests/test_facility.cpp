@@ -1,0 +1,113 @@
+#include "facility/kcenter.hpp"
+#include "facility/kmedian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(KCenterObjective, PathExamples) {
+  const UGraph g = path_ugraph(7);
+  const Vertex mid[] = {3};
+  EXPECT_EQ(kcenter_objective(g, mid), 3U);
+  const Vertex ends[] = {0, 6};
+  EXPECT_EQ(kcenter_objective(g, ends), 3U);
+  const Vertex spread[] = {1, 5};
+  EXPECT_EQ(kcenter_objective(g, spread), 2U);  // vertex 3 is 2 from both
+}
+
+TEST(KCenterObjective, DisconnectedIsSentinel) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  const Vertex centers[] = {0};
+  EXPECT_EQ(kcenter_objective(g, centers), kUnreachable);
+}
+
+TEST(ExactKCenter, PathOptimum) {
+  const UGraph g = path_ugraph(9);
+  const FacilitySolution one = exact_kcenter(g, 1);
+  EXPECT_EQ(one.objective, 4U);
+  EXPECT_EQ(one.centers, (std::vector<Vertex>{4}));
+  const FacilitySolution two = exact_kcenter(g, 2);
+  EXPECT_EQ(two.objective, 2U);
+}
+
+TEST(ExactKCenter, CycleOptimum) {
+  const UGraph g = cycle_ugraph(10);
+  EXPECT_EQ(exact_kcenter(g, 1).objective, 5U);
+  EXPECT_EQ(exact_kcenter(g, 2).objective, 2U);  // antipodal centers halve it
+}
+
+TEST(ExactKCenter, KEqualsNIsZero) {
+  const UGraph g = path_ugraph(4);
+  EXPECT_EQ(exact_kcenter(g, 4).objective, 0U);
+}
+
+TEST(ExactKCenter, OverLimitThrows) {
+  const UGraph g = complete_ugraph(30);
+  EXPECT_THROW((void)exact_kcenter(g, 15, /*limit=*/100), std::invalid_argument);
+}
+
+TEST(GreedyKCenter, TwoApproximationOnRandomGraphs) {
+  Rng rng(901);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = connected_erdos_renyi(16, 0.15, rng);
+    for (const std::uint32_t k : {1U, 2U, 3U}) {
+      const FacilitySolution exact = exact_kcenter(g, k);
+      Rng greedy_rng(static_cast<std::uint64_t>(round));
+      const FacilitySolution greedy = greedy_kcenter(g, k, greedy_rng);
+      EXPECT_GE(greedy.objective, exact.objective);
+      EXPECT_LE(greedy.objective, 2 * exact.objective) << "Gonzalez bound violated";
+    }
+  }
+}
+
+TEST(KMedianObjective, PathExamples) {
+  const UGraph g = path_ugraph(5);
+  const Vertex mid[] = {2};
+  EXPECT_EQ(kmedian_objective(g, mid, 25), 2U + 1 + 0 + 1 + 2);
+  const Vertex end[] = {0};
+  EXPECT_EQ(kmedian_objective(g, end, 25), 0U + 1 + 2 + 3 + 4);
+}
+
+TEST(KMedianObjective, UnreachableChargesPenalty) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  const Vertex centers[] = {0};
+  EXPECT_EQ(kmedian_objective(g, centers, 9), 1U + 9);
+}
+
+TEST(ExactKMedian, PathMedianIsCenter) {
+  const UGraph g = path_ugraph(7);
+  const FacilitySolution sol = exact_kmedian(g, 1);
+  EXPECT_EQ(sol.centers, (std::vector<Vertex>{3}));
+  EXPECT_EQ(sol.objective, 3U + 2 + 1 + 0 + 1 + 2 + 3);
+}
+
+TEST(ExactKMedian, TwoMediansOnPath) {
+  const UGraph g = path_ugraph(8);
+  const FacilitySolution sol = exact_kmedian(g, 2);
+  // Optimal: centers at 1 and 5 (or symmetric): cost 1+0+1 + 2+1+0+1+2 = 8.
+  EXPECT_EQ(sol.objective, 8U);
+}
+
+TEST(LocalSearchKMedian, NeverBelowExactAndLocallyOptimal) {
+  Rng rng(902);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = connected_erdos_renyi(14, 0.2, rng);
+    for (const std::uint32_t k : {1U, 2U, 3U}) {
+      const FacilitySolution exact = exact_kmedian(g, k);
+      Rng ls_rng(static_cast<std::uint64_t>(round) + 7);
+      const FacilitySolution local = local_search_kmedian(g, k, ls_rng);
+      EXPECT_GE(local.objective, exact.objective);
+      // Single-swap local optima of k-median on metrics are ≤ 5·OPT.
+      EXPECT_LE(local.objective, 5 * exact.objective + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,180 @@
+#include "game/folding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(WeightedGame, UniformEmbedsUnweighted) {
+  const WeightedGame game = WeightedGame::uniform(path_digraph(4));
+  EXPECT_EQ(game.total_weight(), 4U);
+  EXPECT_EQ(weighted_cost(game, 0), 1U + 2 + 3);
+  EXPECT_EQ(weighted_cost(game, 1), 1U + 1 + 2);
+}
+
+TEST(WeightedGame, WeightsScaleDistances) {
+  WeightedGame game = WeightedGame::uniform(path_digraph(3));
+  game.weight = {1, 10, 100};
+  EXPECT_EQ(weighted_cost(game, 0), 10U + 200);
+  EXPECT_EQ(weighted_cost(game, 2), 100U * 0 + 10 + 2);
+}
+
+TEST(WeightedGame, DisconnectedChargesCinfTimesWeight) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  WeightedGame game = WeightedGame::uniform(std::move(g));
+  game.weight = {1, 1, 5};
+  EXPECT_EQ(weighted_cost(game, 0), 1U + 5 * 9);  // Cinf = 9
+}
+
+TEST(PoorRichLeaves, Classification) {
+  // 0→1→2, 3→1: leaves are 0 (rich: owns its arc), 2 (poor: receives),
+  // 3 (rich).
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(3, 1);
+  const WeightedGame game = WeightedGame::uniform(std::move(g));
+  EXPECT_EQ(poor_leaves(game), (std::vector<Vertex>{2}));
+  EXPECT_EQ(rich_leaves(game), (std::vector<Vertex>{0, 3}));
+}
+
+TEST(PoorRichLeaves, BraceEndpointIsNotLeaf) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  const WeightedGame game = WeightedGame::uniform(std::move(g));
+  EXPECT_TRUE(poor_leaves(game).empty());
+  EXPECT_TRUE(rich_leaves(game).empty());
+}
+
+TEST(FoldPoorLeaf, WeightMovesToSupport) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);  // 2 is a poor leaf supported by 1
+  WeightedGame game = WeightedGame::uniform(std::move(g));
+  game.weight = {1, 2, 7};
+  const FoldResult fold = fold_poor_leaf(game, 2);
+  EXPECT_EQ(fold.game.num_vertices(), 2U);
+  EXPECT_EQ(fold.game.total_weight(), 10U);
+  EXPECT_EQ(fold.game.weight[fold.folded_into], 9U);  // 2 + 7
+  EXPECT_EQ(fold.old_to_new[2], FoldResult::kFolded);
+  EXPECT_EQ(fold.game.graph.num_arcs(), 1U);
+}
+
+TEST(FoldPoorLeaf, RejectsNonLeaf) {
+  const WeightedGame game = WeightedGame::uniform(path_digraph(4));
+  EXPECT_THROW((void)fold_poor_leaf(game, 1), std::invalid_argument);  // degree 2
+  EXPECT_THROW((void)fold_poor_leaf(game, 0), std::invalid_argument);  // rich leaf
+}
+
+TEST(FoldAllPoorLeaves, StarCollapsesToSingleton) {
+  const WeightedGame game = WeightedGame::uniform(star_digraph(6));
+  std::uint64_t folds = 0;
+  const WeightedGame folded = fold_all_poor_leaves(game, &folds);
+  EXPECT_EQ(folds, 5U);
+  EXPECT_EQ(folded.num_vertices(), 1U);
+  EXPECT_EQ(folded.total_weight(), 6U);
+}
+
+TEST(FoldAllPoorLeaves, PreservesTotalWeight) {
+  Rng rng(501);
+  for (int round = 0; round < 10; ++round) {
+    const WeightedGame game = WeightedGame::uniform(random_tree_digraph(20, rng));
+    const WeightedGame folded = fold_all_poor_leaves(game);
+    EXPECT_EQ(folded.total_weight(), 20U);
+    EXPECT_TRUE(poor_leaves(folded).empty());
+  }
+}
+
+TEST(WeakEquilibrium, NashEquilibriumIsWeakEquilibrium) {
+  // Run unit-budget dynamics to a Nash equilibrium; it must be weakly stable
+  // under the weighted machinery with uniform weights.
+  Rng rng(502);
+  const std::vector<std::uint32_t> budgets(8, 1);
+  const Digraph initial = random_profile(budgets, rng);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.max_rounds = 200;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(is_weak_equilibrium(WeightedGame::uniform(result.graph)));
+}
+
+TEST(WeakEquilibrium, PathIsNotWeaklyStable) {
+  EXPECT_FALSE(is_weak_equilibrium(WeightedGame::uniform(path_digraph(7))));
+}
+
+TEST(WeakEquilibrium, FoldingPreservesWeakStability) {
+  // Section 6: folding a poor leaf of a weak equilibrium graph yields a
+  // weak equilibrium graph. Validate on SUM tree equilibria from dynamics.
+  Rng rng(503);
+  int validated = 0;
+  for (int round = 0; round < 6 && validated < 3; ++round) {
+    const Digraph initial = random_tree_digraph(9, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 300;
+    config.seed = static_cast<std::uint64_t>(round + 1);
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    WeightedGame game = WeightedGame::uniform(result.graph);
+    ASSERT_TRUE(is_weak_equilibrium(game));
+    auto leaves = poor_leaves(game);
+    while (!leaves.empty()) {
+      game = fold_poor_leaf(game, leaves.front()).game;
+      EXPECT_TRUE(is_weak_equilibrium(game));
+      leaves = poor_leaves(game);
+    }
+    ++validated;
+  }
+  EXPECT_GE(validated, 1);
+}
+
+TEST(Lemma62, SubtreeHeightBoundOnFoldedEquilibria) {
+  // On a weak-equilibrium tree rooted anywhere, subtrees hanging below the
+  // root satisfy height ≤ 1 + log2(weight) (Lemma 6.2 with T = whole tree).
+  Rng rng(504);
+  for (int round = 0; round < 5; ++round) {
+    const Digraph initial = random_tree_digraph(12, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 300;
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    const WeightedGame game = WeightedGame::uniform(result.graph);
+    const UGraph u = game.graph.underlying();
+    if (!is_tree(u)) continue;
+    const RootedTree t = root_tree(u, 0);
+    const double bound = 1.0 + std::log2(static_cast<double>(game.total_weight()));
+    EXPECT_LE(static_cast<double>(t.height()), bound + 1.0)
+        << "Lemma 6.2 height bound violated";
+  }
+}
+
+TEST(Lemma64, RichLeavesWithinDistanceTwoOnWeakEquilibria) {
+  Rng rng(505);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<std::uint32_t> budgets(9, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 300;
+    config.seed = static_cast<std::uint64_t>(round);
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    const WeightedGame game = WeightedGame::uniform(result.graph);
+    ASSERT_TRUE(is_weak_equilibrium(game));
+    EXPECT_LE(max_rich_leaf_distance(game), 2U);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,117 @@
+// Randomised operation-sequence stress tests ("poor man's fuzzing"): apply
+// long random add/remove/set sequences to the mutable graph types and check
+// the class invariants against a naive shadow model after every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/ugraph.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(FuzzDigraph, ShadowModelAgreesOverLongOpSequences) {
+  Rng rng(424242);
+  const std::uint32_t n = 12;
+  Digraph g(n);
+  std::set<std::pair<Vertex, Vertex>> shadow;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto op = rng.next_below(3);
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (op == 0 && u != v && !shadow.count({u, v})) {
+      g.add_arc(u, v);
+      shadow.insert({u, v});
+    } else if (op == 1 && shadow.count({u, v})) {
+      g.remove_arc(u, v);
+      shadow.erase({u, v});
+    } else if (op == 2) {
+      // Replace u's strategy with a random set of distinct heads.
+      const auto b = static_cast<std::uint32_t>(rng.next_below(4));
+      auto picks = rng.sample(n - 1, b);
+      std::vector<Vertex> heads;
+      for (const auto p : picks) heads.push_back(p >= u ? p + 1 : p);
+      g.set_strategy(u, heads);
+      for (auto it = shadow.begin(); it != shadow.end();) {
+        it = (it->first == u) ? shadow.erase(it) : std::next(it);
+      }
+      for (const Vertex h : heads) shadow.insert({u, h});
+    }
+
+    // Invariants after every mutation.
+    ASSERT_EQ(g.num_arcs(), shadow.size());
+    if (step % 50 == 0) {  // full structural audit periodically
+      for (Vertex a = 0; a < n; ++a) {
+        for (Vertex b = 0; b < n; ++b) {
+          if (a == b) continue;
+          ASSERT_EQ(g.has_arc(a, b), shadow.count({a, b}) > 0)
+              << "step " << step << " arc " << a << "->" << b;
+        }
+        // Adjacency stays sorted and duplicate-free.
+        const auto nbrs = g.out_neighbors(a);
+        for (std::size_t i = 1; i < nbrs.size(); ++i) ASSERT_LT(nbrs[i - 1], nbrs[i]);
+      }
+    }
+  }
+}
+
+TEST(FuzzUGraph, ShadowModelAgreesOverLongOpSequences) {
+  Rng rng(777);
+  const std::uint32_t n = 10;
+  UGraph g(n);
+  std::set<std::pair<Vertex, Vertex>> shadow;  // normalised (min, max)
+  const auto key = [](Vertex a, Vertex b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (rng.next_bool(0.55) && !shadow.count(key(u, v))) {
+      g.add_edge(u, v);
+      shadow.insert(key(u, v));
+    } else if (shadow.count(key(u, v))) {
+      g.remove_edge(v, u);  // removal from either side
+      shadow.erase(key(u, v));
+    }
+
+    ASSERT_EQ(g.num_edges(), shadow.size());
+    if (step % 50 == 0) {
+      for (Vertex a = 0; a < n; ++a) {
+        std::uint32_t degree = 0;
+        for (const auto& e : shadow) degree += (e.first == a || e.second == a);
+        ASSERT_EQ(g.degree(a), degree) << "step " << step;
+        for (Vertex b = a + 1; b < n; ++b) {
+          ASSERT_EQ(g.has_edge(a, b), shadow.count(key(a, b)) > 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzDigraph, HashStableUnderRebuild) {
+  Rng rng(5150);
+  for (int round = 0; round < 20; ++round) {
+    const auto budgets = random_budgets(9, 12, rng);
+    const Digraph g = random_profile(budgets, rng);
+    // Rebuild by inserting arcs in a different (shuffled) order.
+    std::vector<std::pair<Vertex, Vertex>> arcs;
+    for (Vertex u = 0; u < 9; ++u) {
+      for (const Vertex v : g.out_neighbors(u)) arcs.emplace_back(u, v);
+    }
+    rng.shuffle(arcs);
+    Digraph rebuilt(9);
+    for (const auto& [u, v] : arcs) rebuilt.add_arc(u, v);
+    EXPECT_EQ(rebuilt.hash(), g.hash());
+    EXPECT_TRUE(rebuilt == g);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

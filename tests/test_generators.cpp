@@ -1,0 +1,145 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/connectivity.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Generators, PathDigraphShape) {
+  const Digraph g = path_digraph(5);
+  EXPECT_EQ(g.num_arcs(), 4U);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(3, 4));
+  EXPECT_EQ(g.out_degree(4), 0U);
+  EXPECT_TRUE(is_tree(g.underlying()));
+}
+
+TEST(Generators, CycleDigraphShape) {
+  const Digraph g = cycle_digraph(6);
+  EXPECT_EQ(g.num_arcs(), 6U);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 1U);
+  EXPECT_TRUE(is_connected(g.underlying()));
+}
+
+TEST(Generators, StarDigraphShape) {
+  const Digraph g = star_digraph(7);
+  EXPECT_EQ(g.out_degree(0), 6U);
+  for (Vertex v = 1; v < 7; ++v) EXPECT_EQ(g.out_degree(v), 0U);
+  EXPECT_TRUE(is_tree(g.underlying()));
+}
+
+TEST(Generators, RandomProfileRespectsBudgets) {
+  Rng rng(1);
+  const std::vector<std::uint32_t> budgets{3, 0, 1, 2, 1};
+  for (int round = 0; round < 10; ++round) {
+    const Digraph g = random_profile(budgets, rng);
+    EXPECT_EQ(g.budgets(), budgets);
+  }
+}
+
+TEST(Generators, RandomProfileRejectsOversizedBudget) {
+  Rng rng(2);
+  const std::vector<std::uint32_t> budgets{3, 0, 0};  // 3 ≥ n = 3
+  EXPECT_THROW((void)random_profile(budgets, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomBudgetsSumAndBounds) {
+  Rng rng(3);
+  for (const std::uint64_t sigma : {0ULL, 9ULL, 20ULL, 50ULL}) {
+    const auto b = random_budgets(10, sigma, rng);
+    EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0ULL), sigma);
+    for (const auto bi : b) EXPECT_LT(bi, 10U);
+  }
+}
+
+TEST(Generators, RandomTreeIsTreeBgInstance) {
+  Rng rng(4);
+  for (int round = 0; round < 10; ++round) {
+    const Digraph g = random_tree_digraph(20, rng);
+    EXPECT_EQ(g.num_arcs(), 19U);
+    EXPECT_TRUE(is_tree(g.underlying()));
+    const auto b = g.budgets();
+    EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0ULL), 19U);
+  }
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng).num_edges(), 0U);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).num_edges(), 45U);
+}
+
+TEST(Generators, ConnectedErdosRenyiIsConnected) {
+  Rng rng(6);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(is_connected(connected_erdos_renyi(30, 0.02, rng)));
+  }
+}
+
+TEST(Generators, GridShape) {
+  const UGraph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12U);
+  EXPECT_EQ(g.num_edges(), 3U * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteGraphShape) {
+  const UGraph g = complete_ugraph(6);
+  EXPECT_EQ(g.num_edges(), 15U);
+  EXPECT_TRUE(g.is_complete());
+}
+
+TEST(Orient, CycleGraphAllPositive) {
+  const Digraph d = orient_with_positive_outdegree(cycle_ugraph(5));
+  EXPECT_EQ(d.num_arcs(), 5U);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_GE(d.out_degree(v), 1U);
+}
+
+TEST(Orient, DenseGraphAllPositive) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = connected_erdos_renyi(25, 0.15, rng);
+    if (g.min_degree() < 2) continue;  // theorem needs a cycle per component
+    const Digraph d = orient_with_positive_outdegree(g);
+    EXPECT_EQ(d.num_arcs(), g.num_edges());
+    for (Vertex v = 0; v < 25; ++v) {
+      EXPECT_GE(d.out_degree(v), 1U) << "vertex " << v << " round " << round;
+    }
+    EXPECT_EQ(d.underlying(), g);
+  }
+}
+
+TEST(Orient, TreeComponentLeavesRootBudgetless) {
+  const Digraph d = orient_with_positive_outdegree(path_ugraph(4));
+  EXPECT_EQ(d.num_arcs(), 3U);
+  // Exactly one vertex (the root) has outdegree 0.
+  int zero_out = 0;
+  for (Vertex v = 0; v < 4; ++v) zero_out += (d.out_degree(v) == 0);
+  EXPECT_EQ(zero_out, 1);
+}
+
+TEST(Orient, EachEdgeOrientedExactlyOnce) {
+  Rng rng(8);
+  const UGraph g = connected_erdos_renyi(15, 0.3, rng);
+  const Digraph d = orient_with_positive_outdegree(g);
+  EXPECT_EQ(d.num_arcs(), g.num_edges());
+  EXPECT_EQ(d.brace_count(), 0U);
+  EXPECT_EQ(d.underlying(), g);
+}
+
+TEST(Orient, MultiComponentGraph) {
+  // Two disjoint cycles.
+  UGraph g(8);
+  for (Vertex v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  for (Vertex v = 0; v < 4; ++v) g.add_edge(4 + v, 4 + ((v + 1) % 4));
+  const Digraph d = orient_with_positive_outdegree(g);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(d.out_degree(v), 1U);
+}
+
+}  // namespace
+}  // namespace bbng

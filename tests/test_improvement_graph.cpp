@@ -1,0 +1,83 @@
+#include "game/improvement_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/enumerate.hpp"
+#include "util/combinatorics.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(RankCombination, InverseOfUnrank) {
+  for (std::uint32_t n = 1; n <= 9; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      const std::uint64_t total = binomial(n, k);
+      for (std::uint64_t r = 0; r < total; ++r) {
+        const auto subset = unrank_combination(n, k, r);
+        EXPECT_EQ(rank_combination(n, subset), r) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(RankCombination, RejectsUnsortedOrOutOfRange) {
+  const std::uint32_t bad1[] = {2, 1};
+  EXPECT_THROW((void)rank_combination(5, bad1), std::invalid_argument);
+  const std::uint32_t bad2[] = {0, 7};
+  EXPECT_THROW((void)rank_combination(5, bad2), std::invalid_argument);
+}
+
+TEST(ImprovementGraph, SinkCountMatchesExhaustiveEquilibria) {
+  // Sinks of the improvement graph are exactly the Nash equilibria.
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const BudgetGame game({1, 1, 1, 1});
+    const auto graph = analyze_improvement_graph(game, version);
+    const auto exhaustive = exhaustive_analysis(game, version);
+    EXPECT_EQ(graph.states, exhaustive.profiles);
+    EXPECT_EQ(graph.sinks, exhaustive.equilibria) << to_string(version);
+    EXPECT_TRUE(graph.every_non_sink_moves);
+  }
+}
+
+TEST(ImprovementGraph, TinyUnitGamesAreAcyclic) {
+  // Ground truth for the Section 8 question at small n: no best-response
+  // cycle exists, so dynamics ALWAYS converges in these games.
+  for (const std::uint32_t n : {3U, 4U, 5U}) {
+    const BudgetGame game(std::vector<std::uint32_t>(n, 1));
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const auto graph = analyze_improvement_graph(game, version);
+      EXPECT_FALSE(graph.has_cycle) << "n=" << n << " " << to_string(version);
+      EXPECT_GT(graph.sinks, 0U);
+      // Convergence bound exists and is modest.
+      EXPECT_LE(graph.max_moves_to_sink, graph.states);
+    }
+  }
+}
+
+TEST(ImprovementGraph, MixedBudgetsAcyclicToo) {
+  const BudgetGame game({2, 1, 1, 0});
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const auto graph = analyze_improvement_graph(game, version);
+    EXPECT_FALSE(graph.has_cycle);
+    EXPECT_GT(graph.sinks, 0U);
+    EXPECT_GT(graph.transitions, 0U);
+  }
+}
+
+TEST(ImprovementGraph, OverLimitThrows) {
+  const BudgetGame game(std::vector<std::uint32_t>(10, 3));
+  EXPECT_THROW((void)analyze_improvement_graph(game, CostVersion::Sum, 100),
+               std::invalid_argument);
+}
+
+TEST(ImprovementGraph, SingleProfileGameIsOneSink) {
+  // Budgets (2,0,0): one realization, trivially a sink.
+  const auto graph = analyze_improvement_graph(BudgetGame({2, 0, 0}), CostVersion::Sum);
+  EXPECT_EQ(graph.states, 1U);
+  EXPECT_EQ(graph.sinks, 1U);
+  EXPECT_EQ(graph.transitions, 0U);
+  EXPECT_FALSE(graph.has_cycle);
+}
+
+}  // namespace
+}  // namespace bbng

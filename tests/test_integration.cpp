@@ -1,0 +1,77 @@
+// End-to-end pipeline tests crossing module boundaries: construct →
+// serialize → reload → audit → perturb → re-converge → re-verify.
+#include <gtest/gtest.h>
+
+#include "constructions/equilibria.hpp"
+#include "game/analysis.hpp"
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Integration, ConstructSerializeReloadAudit) {
+  const BudgetGame game(figure1_budgets());
+  const Digraph built = construct_equilibrium(game);
+
+  // Round-trip through the text format.
+  const Digraph reloaded = from_arc_list(to_arc_list(built));
+  ASSERT_TRUE(reloaded == built);
+
+  // The reloaded graph audits as an exact equilibrium with diameter ≤ 4.
+  AuditOptions options;
+  options.version = CostVersion::Max;
+  const StateAudit audit = audit_state(reloaded, options);
+  EXPECT_EQ(audit.certificate, StabilityCertificate::ExactNash);
+  EXPECT_LE(audit.social_cost, 4U);
+  EXPECT_TRUE(audit.connected);
+}
+
+TEST(Integration, PerturbedEquilibriumRecovers) {
+  // Knock one player of a constructed equilibrium onto a bad strategy; the
+  // dynamics must walk back to (some) equilibrium of the same game.
+  Rng rng(2024);
+  const auto budgets = random_budgets(10, 14, rng);
+  const BudgetGame game(budgets);
+  Digraph g = construct_equilibrium(game);
+
+  // Perturb the highest-budget player.
+  Vertex victim = 0;
+  for (Vertex v = 1; v < 10; ++v) {
+    if (g.out_degree(v) > g.out_degree(victim)) victim = v;
+  }
+  if (g.out_degree(victim) > 0) {
+    auto picks = rng.sample(9, g.out_degree(victim));
+    std::vector<Vertex> heads;
+    for (const auto p : picks) heads.push_back(p >= victim ? p + 1 : p);
+    g.set_strategy(victim, heads);
+  }
+
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.max_rounds = 400;
+  const DynamicsResult result = run_best_response_dynamics(g, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(game.is_realization(result.graph));
+  EXPECT_TRUE(verify_equilibrium(result.graph, CostVersion::Sum).stable);
+}
+
+TEST(Integration, DynamicsOutputSurvivesSerialization) {
+  Rng rng(2025);
+  const std::vector<std::uint32_t> budgets(9, 1);
+  DynamicsConfig config;
+  config.version = CostVersion::Max;
+  config.max_rounds = 300;
+  const DynamicsResult result =
+      run_best_response_dynamics(random_profile(budgets, rng), config);
+  if (!result.converged) GTEST_SKIP() << "dynamics did not settle";
+  const Digraph reloaded = from_arc_list(to_arc_list(result.graph));
+  EXPECT_TRUE(verify_equilibrium(reloaded, CostVersion::Max).stable);
+  EXPECT_EQ(diameter(reloaded.underlying()), diameter(result.graph.underlying()));
+}
+
+}  // namespace
+}  // namespace bbng

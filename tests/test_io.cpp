@@ -1,0 +1,82 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(ArcList, RoundTripSmall) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);  // brace must survive
+  g.add_arc(2, 3);
+  const Digraph back = from_arc_list(to_arc_list(g));
+  EXPECT_TRUE(back == g);
+}
+
+TEST(ArcList, RoundTripRandomProfiles) {
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const auto budgets = random_budgets(15, 25, rng);
+    const Digraph g = random_profile(budgets, rng);
+    const Digraph back = from_arc_list(to_arc_list(g));
+    EXPECT_TRUE(back == g) << "round " << round;
+    EXPECT_EQ(back.hash(), g.hash());
+  }
+}
+
+TEST(ArcList, HeaderFormat) {
+  Digraph g(3);
+  g.add_arc(0, 2);
+  const std::string text = to_arc_list(g);
+  EXPECT_EQ(text.rfind("bbng-digraph 3 1\n", 0), 0U);
+}
+
+TEST(ArcList, CommentsAndBlankLinesSkipped) {
+  const std::string text =
+      "# an equilibrium\n\nbbng-digraph 3 2\n# arcs follow\n0 1\n\n2 0\n";
+  const Digraph g = from_arc_list(text);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(2, 0));
+  EXPECT_EQ(g.num_arcs(), 2U);
+}
+
+TEST(ArcList, MalformedInputsRejected) {
+  EXPECT_THROW((void)from_arc_list(""), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("digraph 3 1\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("bbng-digraph 3 1\n0 7\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("bbng-digraph 3 2\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("bbng-digraph 3 1\n1 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("bbng-digraph 3 2\n0 1\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_arc_list("bbng-digraph 0 0\n"), std::invalid_argument);
+}
+
+TEST(Dot, DigraphContainsArcsAndBudgets) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  std::ostringstream os;
+  write_dot(os, g, "test");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph test {"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1;"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v2;"), std::string::npos);
+  EXPECT_NE(dot.find("(b=2)"), std::string::npos);
+}
+
+TEST(Dot, UGraphUsesUndirectedEdges) {
+  const UGraph g = path_ugraph(3);
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph bbng {"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1;"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbng

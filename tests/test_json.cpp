@@ -1,0 +1,105 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace bbng {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  build(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(Json, ScalarsAndFields) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object()
+        .field("n", 42)
+        .field("ratio", 1.5)
+        .field("name", "spider")
+        .field("stable", true)
+        .key("missing")
+        .null()
+        .end_object();
+  });
+  EXPECT_EQ(out, R"({"n":42,"ratio":1.5,"name":"spider","stable":true,"missing":null})");
+}
+
+TEST(Json, NestedStructures) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object().key("diams").begin_array().value(2).value(4).value(8).end_array()
+        .key("meta").begin_object().field("seed", 7).end_object()
+        .end_object();
+  });
+  EXPECT_EQ(out, R"({"diams":[2,4,8],"meta":{"seed":7}})");
+}
+
+TEST(Json, ArrayOfObjects) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    for (int i = 0; i < 2; ++i) w.begin_object().field("i", i).end_object();
+    w.end_array();
+  });
+  EXPECT_EQ(out, R"([{"i":0},{"i":1}])");
+}
+
+TEST(Json, StringEscaping) {
+  const std::string out =
+      compact([](JsonWriter& w) { w.value(std::string("a\"b\\c\nd\te") + '\x01'); });
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, PrettyPrintingIndents) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*pretty=*/true);
+    w.begin_object().field("a", 1).end_object();
+  }
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, MisuseDetected) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::invalid_argument);  // value without key
+    EXPECT_THROW(w.end_array(), std::invalid_argument);
+    w.key("k");
+    EXPECT_THROW(w.key("again"), std::invalid_argument);  // dangling key
+    EXPECT_THROW(w.end_object(), std::invalid_argument);  // key unfulfilled
+    w.value(3);
+    w.end_object();
+    EXPECT_TRUE(w.complete());
+    EXPECT_THROW(w.value(1), std::invalid_argument);  // second top-level value
+  }
+  std::ostringstream os2;
+  JsonWriter w2(os2);
+  EXPECT_THROW(w2.key("k"), std::invalid_argument);  // key at top level
+}
+
+TEST(Json, NonFiniteDoublesRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_THROW(w.value(std::nan("")), std::invalid_argument);
+}
+
+TEST(Json, Uint64Boundary) {
+  const std::string out =
+      compact([](JsonWriter& w) { w.value(std::uint64_t{18446744073709551615ULL}); });
+  EXPECT_EQ(out, "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,190 @@
+// Direct computational checks of the paper's supporting lemmas on concrete
+// objects — beyond the theorem-level experiments in bench/.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "constructions/shift_graph.hpp"
+#include "game/cost.hpp"
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "game/folding.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+// ---------------------------------------------------------------- Lemma 3.1
+// σ ≥ n−1 ⇒ every equilibrium graph is connected.
+TEST(Lemma31, EquilibriaWithEnoughBudgetAreConnected) {
+  Rng rng(1001);
+  int verified = 0;
+  for (int round = 0; round < 40 && verified < 6; ++round) {
+    const std::uint32_t n = 7 + static_cast<std::uint32_t>(rng.next_below(3));
+    const auto budgets = random_budgets(n, n - 1 + rng.next_below(4), rng);
+    const Digraph g = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      if (!verify_equilibrium(g, version).stable) continue;
+      EXPECT_TRUE(is_connected(g.underlying()))
+          << "a " << to_string(version) << " equilibrium with sigma >= n-1 is disconnected";
+      ++verified;
+    }
+  }
+}
+
+TEST(Lemma31, DynamicsNeverConvergesToDisconnectedState) {
+  Rng rng(1002);
+  for (int round = 0; round < 6; ++round) {
+    const std::uint32_t n = 10;
+    const auto budgets = random_budgets(n, n + rng.next_below(6), rng);
+    DynamicsConfig config;
+    config.version = round % 2 ? CostVersion::Sum : CostVersion::Max;
+    config.max_rounds = 400;
+    const DynamicsResult result =
+        run_best_response_dynamics(random_profile(budgets, rng), config);
+    if (!result.converged || !result.all_moves_exact) continue;
+    EXPECT_TRUE(is_connected(result.graph.underlying()));
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 5.1
+// In a graph with max degree Δ and Δ^d − 1 < n(Δ−1): for every vertex v and
+// every set A with |A| ≤ Δ there is a vertex u ≠ v with dist(u, A) > d−2.
+TEST(Lemma51, BallCountingHoldsOnShiftGraphs) {
+  const UGraph g = shift_graph(4, 2);  // n=16, Δ ≤ 8, d = 2
+  const std::uint32_t d = 2;
+  ASSERT_TRUE(expansion_condition(g.max_degree(), d, g.num_vertices()));
+  Rng rng(1003);
+  BfsRunner runner(g.num_vertices());
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto size = 1 + rng.next_below(g.max_degree());
+    const auto picks = rng.sample(g.num_vertices(), static_cast<std::uint32_t>(size));
+    const std::vector<Vertex> a(picks.begin(), picks.end());
+    runner.run_multi(g, a);
+    // Some vertex has distance > d-2 = 0 from A, i.e. lies outside A. More
+    // strongly the lemma needs it for every v; count vertices beyond d-2.
+    std::uint32_t beyond = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) beyond += (runner.dist(v) > d - 2);
+    EXPECT_GE(beyond, 2U);  // enough to exclude any single v
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 6.5
+// On a weak-equilibrium path, the number of edges whose both endpoints have
+// degree 2 is O(log w(P)). The degree-2 chain of a long path digraph wildly
+// violates it — and indeed the path is NOT weakly stable; equilibria from
+// dynamics respect the bound.
+TEST(Lemma65, Degree2ChainsAreShortInEquilibria) {
+  Rng rng(1004);
+  for (int round = 0; round < 6; ++round) {
+    const Digraph initial = random_tree_digraph(18, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 400;
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    const UGraph u = result.graph.underlying();
+    if (!is_tree(u)) continue;
+    const auto path = tree_longest_path(u);
+    std::uint32_t deg2_edges = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (u.degree(path[i]) == 2 && u.degree(path[i + 1]) == 2) ++deg2_edges;
+    }
+    const double bound = 2.0 * std::log2(18.0) + 2.0;
+    EXPECT_LE(static_cast<double>(deg2_edges), bound);
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 7.1
+// If every vertex of a component A of G−C sits at distance 1 from C and has
+// budget > |C|, each such vertex has local diameter ≤ 2 — checked on SUM
+// equilibria of uniform-budget games by picking C = a minimum vertex cut.
+TEST(Lemma71, HighBudgetFringeHasSmallLocalDiameter) {
+  Rng rng(1005);
+  int checked = 0;
+  for (int round = 0; round < 8 && checked < 2; ++round) {
+    const std::uint32_t n = 12, B = 3;
+    const std::vector<std::uint32_t> budgets(n, B);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 250;
+    config.exact_limit = 50'000;
+    config.seed = static_cast<std::uint64_t>(round);
+    const DynamicsResult result =
+        run_best_response_dynamics(random_profile(budgets, rng), config);
+    if (!result.converged || !result.all_moves_exact) continue;
+    const UGraph u = result.graph.underlying();
+    if (diameter(u) <= 3) continue;  // lemma vacuous, Theorem 7.2's other branch
+    // diameter > 3 ⇒ Theorem 7.2 says κ ≥ B; Lemma 7.1 applies to any cut of
+    // size < B, none exists. Verify κ ≥ B instead (the lemma's consequence).
+    EXPECT_GE(vertex_connectivity(u), B);
+    ++checked;
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 6.6
+// If adding the arc u→v decreases u's SUM cost by s > n·dist(x,u), then
+// adding x→v decreases x's cost by at least s − n·dist(x,u). This is a
+// statement about arbitrary graphs — check it on random realizations.
+TEST(Lemma66, ImprovementTransfersAlongShortDistances) {
+  Rng rng(1007);
+  for (int round = 0; round < 12; ++round) {
+    const std::uint32_t n = 12;
+    const auto budgets = random_budgets(n, n + rng.next_below(8), rng);
+    const Digraph g = random_profile(budgets, rng);
+    const UGraph und = g.underlying();
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto x = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v || x == v || u == x) continue;
+    if (g.has_arc(u, v) || g.has_arc(x, v)) continue;
+    const auto dist_xu = bfs_distances(und, x)[u];
+    if (dist_xu == kUnreachable) continue;
+
+    const auto cost_of = [](const Digraph& graph, Vertex w) {
+      return vertex_cost(graph, w, CostVersion::Sum);
+    };
+    Digraph with_uv = g;
+    with_uv.add_arc(u, v);
+    const std::uint64_t cost_u_before = cost_of(g, u);
+    const std::uint64_t cost_u_after = cost_of(with_uv, u);
+    if (cost_u_after >= cost_u_before) continue;
+    const std::uint64_t s = cost_u_before - cost_u_after;
+    const std::uint64_t threshold = static_cast<std::uint64_t>(n) * dist_xu;
+    if (s <= threshold) continue;  // lemma hypothesis not met
+
+    Digraph with_xv = g;
+    with_xv.add_arc(x, v);
+    const std::uint64_t cost_x_before = cost_of(g, x);
+    const std::uint64_t cost_x_after = cost_of(with_xv, x);
+    ASSERT_GE(cost_x_before, cost_x_after);
+    EXPECT_GE(cost_x_before - cost_x_after, s - threshold)
+        << "round " << round << " u=" << u << " x=" << x << " v=" << v;
+  }
+}
+
+// ------------------------------------------------------------- Theorem 6.1
+// Spirit check: around any vertex of a SUM equilibrium, if the ball B_r(u)
+// induces a tree then r = O(log n). Equilibria from tree dynamics: the whole
+// graph is a tree, so its radius must be O(log n).
+TEST(Theorem61, TreeBallRadiusLogarithmic) {
+  Rng rng(1006);
+  for (int round = 0; round < 5; ++round) {
+    const Digraph initial = random_tree_digraph(30, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 500;
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    const auto ecc = eccentricities(result.graph.underlying());
+    ASSERT_TRUE(ecc.connected);
+    EXPECT_LE(static_cast<double>(ecc.radius), std::log2(30.0) + 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

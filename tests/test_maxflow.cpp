@@ -1,0 +1,107 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbng {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5U);
+}
+
+TEST(Dinic, SeriesTakesMinimum) {
+  Dinic net(3);
+  net.add_edge(0, 1, 4);
+  net.add_edge(1, 2, 7);
+  EXPECT_EQ(net.max_flow(0, 2), 4U);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  Dinic net(4);
+  net.add_edge(0, 1, 3);
+  net.add_edge(1, 3, 3);
+  net.add_edge(0, 2, 2);
+  net.add_edge(2, 3, 2);
+  EXPECT_EQ(net.max_flow(0, 3), 5U);
+}
+
+TEST(Dinic, ClassicTextbookNetwork) {
+  // CLRS-style example with a cross edge; max flow is 23.
+  Dinic net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 3, 12);
+  net.add_edge(2, 1, 4);
+  net.add_edge(2, 4, 14);
+  net.add_edge(3, 2, 9);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 3, 7);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23U);
+}
+
+TEST(Dinic, NoPathIsZero) {
+  Dinic net(4);
+  net.add_edge(0, 1, 10);
+  net.add_edge(2, 3, 10);
+  EXPECT_EQ(net.max_flow(0, 3), 0U);
+}
+
+TEST(Dinic, ReverseDirectionBlocked) {
+  Dinic net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(1, 0), 0U);
+}
+
+TEST(Dinic, UnitCapacityBipartiteMatching) {
+  // 3+3 bipartite: left {1,2,3}, right {4,5,6}; perfect matching exists.
+  Dinic net(8);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(0, 3, 1);
+  net.add_edge(1, 4, 1);
+  net.add_edge(1, 5, 1);
+  net.add_edge(2, 4, 1);
+  net.add_edge(3, 6, 1);
+  net.add_edge(4, 7, 1);
+  net.add_edge(5, 7, 1);
+  net.add_edge(6, 7, 1);
+  EXPECT_EQ(net.max_flow(0, 7), 3U);
+}
+
+TEST(Dinic, MinCutSideSeparatesSourceFromSink) {
+  Dinic net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 1U);
+  const auto side = net.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(Dinic, ResidualReflectsSaturation) {
+  Dinic net(2);
+  const std::uint32_t id = net.add_edge(0, 1, 9);
+  EXPECT_EQ(net.max_flow(0, 1), 9U);
+  EXPECT_EQ(net.residual(id), 0U);
+  EXPECT_EQ(net.residual(id + 1), 9U);  // reverse edge carries the flow
+}
+
+TEST(Dinic, SourceEqualsSinkRejected) {
+  Dinic net(2);
+  EXPECT_THROW((void)net.max_flow(1, 1), std::invalid_argument);
+}
+
+TEST(Dinic, LargeCapacitiesNoOverflow) {
+  Dinic net(3);
+  const std::uint64_t big = 1ULL << 40;
+  net.add_edge(0, 1, big);
+  net.add_edge(1, 2, big);
+  EXPECT_EQ(net.max_flow(0, 2), big);
+}
+
+}  // namespace
+}  // namespace bbng

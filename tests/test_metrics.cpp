@@ -1,0 +1,110 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Girth, TreesHaveNone) {
+  EXPECT_FALSE(girth(path_ugraph(6)).has_value());
+  Rng rng(1);
+  EXPECT_FALSE(girth(random_tree_digraph(20, rng).underlying()).has_value());
+  EXPECT_FALSE(girth(UGraph(3)).has_value());
+}
+
+TEST(Girth, CyclesAndCliques) {
+  EXPECT_EQ(girth(cycle_ugraph(3)), 3U);
+  EXPECT_EQ(girth(cycle_ugraph(8)), 8U);
+  EXPECT_EQ(girth(complete_ugraph(5)), 3U);
+  EXPECT_EQ(girth(grid_graph(3, 3)), 4U);
+}
+
+TEST(Girth, CycleWithChordFindsShortest) {
+  UGraph g = cycle_ugraph(8);
+  g.add_edge(0, 3);  // chord creates a 4-cycle 0-1-2-3
+  EXPECT_EQ(girth(g), 4U);
+}
+
+TEST(Girth, DisjointCyclesTakesMinimum) {
+  UGraph g(9);
+  for (Vertex v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);       // C5
+  for (Vertex v = 0; v < 4; ++v) g.add_edge(5 + v, 5 + (v + 1) % 4);  // C4
+  EXPECT_EQ(girth(g), 4U);
+}
+
+TEST(Girth, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(2);
+  for (int round = 0; round < 8; ++round) {
+    const UGraph g = erdos_renyi(10, 0.25, rng);
+    // Brute force: shortest cycle through each edge = remove edge, distance
+    // between endpoints + 1.
+    std::uint32_t brute = kUnreachable;
+    for (Vertex u = 0; u < 10; ++u) {
+      for (const Vertex v : g.neighbors(u)) {
+        if (v < u) continue;
+        UGraph cut = g;
+        cut.remove_edge(u, v);
+        const auto d = bfs_distances(cut, u);
+        if (d[v] != kUnreachable) brute = std::min(brute, d[v] + 1);
+      }
+    }
+    const auto result = girth(g);
+    if (brute == kUnreachable) {
+      EXPECT_FALSE(result.has_value()) << "round " << round;
+    } else {
+      ASSERT_TRUE(result.has_value()) << "round " << round;
+      EXPECT_EQ(*result, brute) << "round " << round;
+    }
+  }
+}
+
+TEST(Center, PathCenterIsMiddle) {
+  EXPECT_EQ(center(path_ugraph(5)), (std::vector<Vertex>{2}));
+  EXPECT_EQ(center(path_ugraph(6)), (std::vector<Vertex>{2, 3}));
+}
+
+TEST(Periphery, PathPeripheryIsEnds) {
+  EXPECT_EQ(periphery(path_ugraph(5)), (std::vector<Vertex>{0, 4}));
+}
+
+TEST(CenterPeriphery, RegularGraphsAreAllBoth) {
+  const UGraph g = cycle_ugraph(6);
+  EXPECT_EQ(center(g).size(), 6U);
+  EXPECT_EQ(periphery(g).size(), 6U);
+}
+
+TEST(CenterPeriphery, DisconnectedIsEmpty) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(center(g).empty());
+  EXPECT_TRUE(periphery(g).empty());
+}
+
+TEST(WienerIndex, SmallClosedForms) {
+  // Path P4: pairs (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) = 1+2+3+1+2+1 = 10.
+  EXPECT_EQ(wiener_index(path_ugraph(4)), 10U);
+  // K4: 6 pairs at distance 1.
+  EXPECT_EQ(wiener_index(complete_ugraph(4)), 6U);
+  // Star on 5: 4 pairs at 1 + 6 pairs at 2 = 16.
+  UGraph star(5);
+  for (Vertex v = 1; v < 5; ++v) star.add_edge(0, v);
+  EXPECT_EQ(wiener_index(star), 16U);
+}
+
+TEST(WienerIndex, DisconnectedIsNull) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(wiener_index(g).has_value());
+}
+
+TEST(WienerIndex, TrivialGraphs) {
+  EXPECT_EQ(wiener_index(UGraph(0)), 0U);
+  EXPECT_EQ(wiener_index(UGraph(1)), 0U);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,69 @@
+#include "constructions/poa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constructions/spider.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(OptBounds, DisconnectedInstanceIsCinf) {
+  const BudgetGame game({0, 0, 0, 1});
+  const OptBounds bounds = opt_diameter_bounds(game);
+  EXPECT_EQ(bounds.lower, 16U);
+  EXPECT_EQ(bounds.upper, 16U);
+}
+
+TEST(OptBounds, ConnectedInstanceBracketsSmallConstant) {
+  const BudgetGame game({1, 1, 1, 1, 1, 1});
+  const OptBounds bounds = opt_diameter_bounds(game);
+  EXPECT_EQ(bounds.lower, 2U);  // σ = 6 < 15 pairs
+  EXPECT_LE(bounds.upper, 4U);
+  EXPECT_GE(bounds.upper, bounds.lower);
+}
+
+TEST(OptBounds, RichInstanceCanBeComplete) {
+  const BudgetGame game({2, 2, 2});  // σ = 6 ≥ C(3,2) = 3
+  EXPECT_EQ(opt_diameter_bounds(game).lower, 1U);
+}
+
+TEST(OptBounds, SingletonGame) {
+  const BudgetGame game({0});
+  const OptBounds bounds = opt_diameter_bounds(game);
+  EXPECT_EQ(bounds.lower, 0U);
+  EXPECT_EQ(bounds.upper, 0U);
+}
+
+TEST(PoaEstimate, SpiderScalesLinearly) {
+  const std::uint32_t k = 12;
+  const Digraph spider = spider_digraph(k);
+  const BudgetGame game(spider.budgets());
+  const PoaEstimate estimate = poa_estimate(game, spider);
+  EXPECT_EQ(estimate.equilibrium_diameter, 2 * k);
+  EXPECT_LE(estimate.opt.upper, 4U);
+  EXPECT_GE(estimate.ratio_lower, static_cast<double>(2 * k) / 4.0);
+  EXPECT_GE(estimate.ratio_upper, estimate.ratio_lower);
+}
+
+TEST(PoaEstimate, RejectsNonRealization) {
+  const BudgetGame game({1, 1, 1});
+  const Digraph wrong = star_digraph(3);  // budgets (2,0,0)
+  EXPECT_THROW((void)poa_estimate(game, wrong), std::invalid_argument);
+}
+
+TEST(PoaEstimate, RandomInstancesBracketConsistently) {
+  Rng rng(801);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.next_below(6));
+    const auto budgets = random_budgets(n, n + rng.next_below(n), rng);
+    const BudgetGame game(budgets);
+    const Digraph g = random_profile(budgets, rng);
+    const PoaEstimate estimate = poa_estimate(game, g);
+    EXPECT_LE(estimate.ratio_lower, estimate.ratio_upper + 1e-12);
+    EXPECT_LE(estimate.opt.lower, estimate.opt.upper);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

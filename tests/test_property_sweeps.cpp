@@ -1,0 +1,137 @@
+// Cross-module parameterized property sweeps — medium-size instances where
+// exact Nash verification is out of reach but the polynomial certificates
+// (realization validity, swap stability, structural bounds) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "constructions/equilibria.hpp"
+#include "constructions/shift_graph.hpp"
+#include "constructions/spider.hpp"
+#include "game/equilibrium.hpp"
+#include "game/strategy_eval.hpp"
+#include "game/cost.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+// ------------------------------------------------ Theorem 2.3 at scale
+class ConstructionSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double, int>> {};
+
+TEST_P(ConstructionSweep, ConstructedGraphIsSwapStableRealization) {
+  const auto [n, sigma_factor, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+  const auto sigma = static_cast<std::uint64_t>(sigma_factor * n);
+  const auto budgets = random_budgets(n, std::min<std::uint64_t>(sigma, n * (n - 1)), rng);
+  const BudgetGame game(budgets);
+  const Digraph g = construct_equilibrium(game);
+
+  ASSERT_TRUE(game.is_realization(g));
+  EXPECT_EQ(is_connected(g.underlying()), game.can_connect());
+  if (game.can_connect()) {
+    EXPECT_LE(diameter(g.underlying()), 4U);
+  }
+  // Swap stability is a necessary condition for Nash and is polynomial.
+  EXPECT_TRUE(verify_swap_equilibrium(g, CostVersion::Sum).stable);
+  EXPECT_TRUE(verify_swap_equilibrium(g, CostVersion::Max).stable);
+}
+
+INSTANTIATE_TEST_SUITE_P(MediumInstances, ConstructionSweep,
+                         ::testing::Combine(::testing::Values(20U, 40U, 70U),
+                                            ::testing::Values(0.5, 1.0, 1.7),
+                                            ::testing::Values(1, 2)));
+
+// ------------------------------------------------ evaluator ≡ reference
+class EvaluatorSweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(EvaluatorSweep, EvaluatorMatchesRebuildReference) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 + n);
+  const auto budgets = random_budgets(n, 2ULL * n, rng);
+  const Digraph g = random_profile(budgets, rng);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    const StrategyEvaluator eval(g, u, version);
+    StrategyEvaluator::Scratch scratch(n);
+    for (int trial = 0; trial < 8; ++trial) {
+      auto picks = rng.sample(n - 1, g.out_degree(u));
+      std::vector<Vertex> strategy;
+      for (const auto p : picks) strategy.push_back(p >= u ? p + 1 : p);
+      Digraph copy = g;
+      copy.set_strategy(u, strategy);
+      EXPECT_EQ(eval.evaluate(strategy, scratch), vertex_cost(copy, u, version))
+          << "n=" << n << " " << to_string(version);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EvaluatorSweep,
+                         ::testing::Combine(::testing::Values(16U, 33U, 64U, 120U),
+                                            ::testing::Values(1, 2, 3)));
+
+// ------------------------------------------------ spider family
+class SpiderSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpiderSweep, SpiderInvariants) {
+  const std::uint32_t k = GetParam();
+  const Digraph g = spider_digraph(k);
+  EXPECT_EQ(g.num_vertices(), 3 * k + 1);
+  EXPECT_TRUE(is_tree(g.underlying()));
+  EXPECT_EQ(tree_diameter(g.underlying()), 2 * k);
+  EXPECT_TRUE(verify_swap_equilibrium(g, CostVersion::Max).stable);
+  EXPECT_EQ(g.brace_count(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Legs, SpiderSweep, ::testing::Values(1U, 2U, 3U, 5U, 9U, 17U, 33U));
+
+// ------------------------------------------------ shift-graph family
+class ShiftSweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(ShiftSweep, ShiftGraphInvariants) {
+  const auto [t, k] = GetParam();
+  const UGraph g = shift_graph(t, k);
+  std::uint64_t n = 1;
+  for (std::uint32_t i = 0; i < k; ++i) n *= t;
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_GE(g.min_degree(), t - 1);
+  EXPECT_LE(g.max_degree(), 2 * t);
+  EXPECT_EQ(diameter(g), k);
+  if (g.min_degree() >= 2) {
+    const Digraph oriented = shift_graph_realization(t, k);
+    for (Vertex v = 0; v < oriented.num_vertices(); ++v) {
+      ASSERT_GE(oriented.out_degree(v), 1U);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ShiftSweep,
+                         ::testing::Values(std::tuple{3U, 2U}, std::tuple{4U, 2U},
+                                           std::tuple{5U, 2U}, std::tuple{6U, 2U},
+                                           std::tuple{8U, 2U}, std::tuple{3U, 3U},
+                                           std::tuple{4U, 3U}, std::tuple{5U, 3U},
+                                           std::tuple{3U, 4U}));
+
+// ------------------------------------------------ Lemma 3.1 via construction
+class ConnectivityThresholdSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ConnectivityThresholdSweep, SigmaAtThresholdYieldsTrees) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n);
+  const auto budgets = random_budgets(n, n - 1, rng);  // exactly the threshold
+  const BudgetGame game(budgets);
+  ASSERT_TRUE(game.is_tree_instance());
+  const Digraph g = construct_equilibrium(game);
+  // σ = n−1 and Nash ⇒ tree (Section 3 preamble).
+  EXPECT_TRUE(is_tree(g.underlying()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threshold, ConnectivityThresholdSweep,
+                         ::testing::Values(5U, 9U, 17U, 33U, 65U));
+
+}  // namespace
+}  // namespace bbng

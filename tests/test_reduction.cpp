@@ -1,0 +1,85 @@
+// Theorem 2.1: the best response of the added player IS an optimal k-center
+// (MAX) / k-median (SUM) solution.
+#include "facility/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "facility/kmedian.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Reduction, InstanceShape) {
+  const UGraph h = cycle_ugraph(6);
+  const ReductionInstance instance = make_reduction_instance(h, 2);
+  EXPECT_EQ(instance.realization.num_vertices(), 7U);
+  EXPECT_EQ(instance.new_player, 6U);
+  EXPECT_EQ(instance.realization.out_degree(6), 2U);
+  // The original graph's underlying structure is preserved among 0..5.
+  const UGraph u = instance.realization.underlying();
+  for (Vertex a = 0; a < 6; ++a) {
+    for (Vertex b = a + 1; b < 6; ++b) EXPECT_EQ(u.has_edge(a, b), h.has_edge(a, b));
+  }
+}
+
+TEST(Reduction, CostTranslation) {
+  const UGraph h = path_ugraph(5);
+  const ReductionInstance instance = make_reduction_instance(h, 1);
+  EXPECT_EQ(facility_value_from_cost(instance, CostVersion::Max, 3), 2U);
+  EXPECT_EQ(facility_value_from_cost(instance, CostVersion::Sum, 12), 7U);
+  EXPECT_THROW((void)facility_value_from_cost(instance, CostVersion::Sum, 3),
+               std::invalid_argument);
+}
+
+TEST(Reduction, KCenterViaBestResponseOnPath) {
+  const UGraph h = path_ugraph(9);
+  const FacilitySolution via_br = solve_facility_via_best_response(h, 1, CostVersion::Max);
+  const FacilitySolution direct = exact_kcenter(h, 1);
+  EXPECT_EQ(via_br.objective, direct.objective);
+  EXPECT_EQ(via_br.centers, direct.centers);
+}
+
+TEST(Reduction, KMedianViaBestResponseOnPath) {
+  const UGraph h = path_ugraph(9);
+  const FacilitySolution via_br = solve_facility_via_best_response(h, 2, CostVersion::Sum);
+  const FacilitySolution direct = exact_kmedian(h, 2);
+  EXPECT_EQ(via_br.objective, direct.objective);
+}
+
+// Parameterized sweep: on random connected graphs, the equivalence holds for
+// both versions and several k.
+class ReductionSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReductionSweep, BestResponseSolvesFacilityExactly) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+  const UGraph h = connected_erdos_renyi(12, 0.18, rng);
+
+  const FacilitySolution center_br =
+      solve_facility_via_best_response(h, static_cast<std::uint32_t>(k), CostVersion::Max);
+  const FacilitySolution center_direct = exact_kcenter(h, static_cast<std::uint32_t>(k));
+  EXPECT_EQ(center_br.objective, center_direct.objective);
+
+  const FacilitySolution median_br =
+      solve_facility_via_best_response(h, static_cast<std::uint32_t>(k), CostVersion::Sum);
+  const FacilitySolution median_direct = exact_kmedian(h, static_cast<std::uint32_t>(k));
+  EXPECT_EQ(median_br.objective, median_direct.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReductionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Reduction, CentersOfBestResponseAreOptimalCenters) {
+  // Stronger check: apply the returned centers to the direct objective.
+  Rng rng(903);
+  const UGraph h = connected_erdos_renyi(11, 0.2, rng);
+  for (const std::uint32_t k : {1U, 2U}) {
+    const FacilitySolution via_br = solve_facility_via_best_response(h, k, CostVersion::Max);
+    EXPECT_EQ(kcenter_objective(h, via_br.centers), via_br.objective);
+  }
+}
+
+}  // namespace
+}  // namespace bbng

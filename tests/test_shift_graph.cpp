@@ -1,0 +1,109 @@
+// Lemma 5.2 / Theorem 5.3: shift graphs and the Ω(√log n) lower bound.
+#include "constructions/shift_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/equilibrium.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(ShiftGraph, SizeDegreeBounds) {
+  for (const auto [t, k] : {std::pair{3U, 2U}, {4U, 2U}, {4U, 3U}, {8U, 2U}}) {
+    const UGraph g = shift_graph(t, k);
+    std::uint32_t expected = 1;
+    for (std::uint32_t i = 0; i < k; ++i) expected *= t;
+    EXPECT_EQ(g.num_vertices(), expected);
+    EXPECT_GE(g.min_degree(), t - 1) << "t=" << t << " k=" << k;
+    EXPECT_LE(g.max_degree(), 2 * t) << "t=" << t << " k=" << k;
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(ShiftGraph, DiameterIsExactlyK) {
+  for (const auto [t, k] : {std::pair{4U, 2U}, {5U, 2U}, {8U, 2U}, {4U, 3U}, {8U, 3U}}) {
+    EXPECT_EQ(diameter(shift_graph(t, k)), k) << "t=" << t << " k=" << k;
+  }
+}
+
+TEST(ShiftGraph, ConditionMatchesDirectEvaluation) {
+  // (2t)^k − 1 < t^k (2t − 1) — evaluate with plain doubles as a sanity
+  // cross-check on small inputs.
+  for (std::uint32_t t = 2; t <= 16; ++t) {
+    for (std::uint32_t k = 1; k <= 4; ++k) {
+      const double lhs = std::pow(2.0 * t, k) - 1.0;
+      const double rhs = std::pow(static_cast<double>(t), k) * (2.0 * t - 1.0);
+      EXPECT_EQ(shift_graph_condition(t, k), lhs < rhs) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(ShiftGraph, Theorem53ParametersSatisfyCondition) {
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    EXPECT_TRUE(shift_graph_condition(theorem53_alphabet(k), k)) << "k=" << k;
+  }
+}
+
+TEST(ShiftGraph, ExpansionConditionLemma51) {
+  EXPECT_TRUE(expansion_condition(8, 2, 16));     // 8²−1 = 63 < 16·7 = 112
+  EXPECT_FALSE(expansion_condition(8, 3, 16));    // 8³−1 = 511 ≥ 112
+  EXPECT_TRUE(expansion_condition(2, 3, 100));    // 7 < 100
+}
+
+TEST(ShiftGraph, RealizationHasPositiveBudgets) {
+  const Digraph g = shift_graph_realization(4, 2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_GE(g.out_degree(v), 1U);
+  EXPECT_EQ(g.num_arcs(), shift_graph(4, 2).num_edges());
+}
+
+TEST(ShiftGraph, SmallRealizationIsExactMaxEquilibrium) {
+  // t=4, k=2 (n=16) satisfies the Lemma 5.2 condition; the orientation must
+  // be an exact MAX Nash equilibrium.
+  ASSERT_TRUE(shift_graph_condition(4, 2));
+  const Digraph g = shift_graph_realization(4, 2);
+  const auto report = verify_equilibrium(g, CostVersion::Max, /*exact_limit=*/20'000'000);
+  EXPECT_TRUE(report.stable) << "player " << report.deviator << " improves "
+                             << report.old_cost << " → " << report.new_cost;
+}
+
+TEST(ShiftGraph, EveryVertexHasLocalDiameterK) {
+  // The Lemma 5.2 proof needs local diameter exactly k for every vertex.
+  const UGraph g = shift_graph(4, 2);
+  const auto result = eccentricities(g);
+  ASSERT_TRUE(result.connected);
+  for (const auto e : result.ecc) EXPECT_EQ(e, 2U);
+  const UGraph g3 = shift_graph(4, 3);
+  const auto result3 = eccentricities(g3);
+  for (const auto e : result3.ecc) EXPECT_EQ(e, 3U);
+}
+
+TEST(ShiftGraph, MediumRealizationIsSwapStable) {
+  // t=5, k=3 (n=125): full exact verification is out of reach, but swap
+  // stability (a necessary condition, and the binding one for MAX) holds.
+  ASSERT_TRUE(shift_graph_condition(5, 3));
+  const Digraph g = shift_graph_realization(5, 3);
+  EXPECT_TRUE(verify_swap_equilibrium(g, CostVersion::Max).stable);
+}
+
+TEST(ShiftGraph, AlternativeOrientationAlsoEquilibrium) {
+  // Lemma 5.2: EVERY orientation is an equilibrium. Flip some arcs of the
+  // canonical orientation (keeping outdegrees ≥ 0 arbitrary) and re-verify.
+  ASSERT_TRUE(shift_graph_condition(4, 2));
+  Digraph g = shift_graph_realization(4, 2);
+  // Reverse every arc out of vertex 0 (orientations need not keep outdeg ≥1
+  // for the equilibrium property of *other* vertices; budgets just change).
+  const std::vector<Vertex> heads(g.out_neighbors(0).begin(), g.out_neighbors(0).end());
+  for (const Vertex h : heads) {
+    g.remove_arc(0, h);
+    if (!g.has_arc(h, 0)) g.add_arc(h, 0);
+  }
+  const auto report = verify_equilibrium(g, CostVersion::Max, 20'000'000);
+  EXPECT_TRUE(report.stable);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,78 @@
+// Theorem 3.2 / Figure 2: the spider is a MAX-version Tree-BG equilibrium
+// with diameter 2k = Θ(n).
+#include "constructions/spider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "game/equilibrium.hpp"
+#include "graph/distances.hpp"
+#include "graph/tree.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Spider, ShapeAndBudgets) {
+  const std::uint32_t k = 4;
+  const Digraph g = spider_digraph(k);
+  const SpiderLayout layout = spider_layout(k);
+  EXPECT_EQ(g.num_vertices(), 13U);
+  EXPECT_EQ(g.num_arcs(), 12U);  // Tree-BG: σ = n−1
+  EXPECT_TRUE(is_tree(g.underlying()));
+  // Leg heads have budget 2; inner leg vertices 1; hub and tips 0.
+  for (std::uint32_t leg = 0; leg < 3; ++leg) {
+    EXPECT_EQ(g.out_degree(layout.leg_vertex(leg, 1)), 2U);
+    for (std::uint32_t pos = 2; pos < k; ++pos) {
+      EXPECT_EQ(g.out_degree(layout.leg_vertex(leg, pos)), 1U);
+    }
+    EXPECT_EQ(g.out_degree(layout.leg_vertex(leg, k)), 0U);
+  }
+  EXPECT_EQ(g.out_degree(layout.hub), 0U);
+}
+
+TEST(Spider, DiameterIsTwoK) {
+  for (const std::uint32_t k : {1U, 2U, 5U, 10U, 25U}) {
+    const Digraph g = spider_digraph(k);
+    EXPECT_EQ(tree_diameter(g.underlying()), 2 * k) << "k=" << k;
+  }
+}
+
+TEST(Spider, IsMaxEquilibriumExactly) {
+  // Exact Nash verification for several sizes (Theorem 3.2).
+  for (const std::uint32_t k : {1U, 2U, 3U, 4U, 6U}) {
+    const Digraph g = spider_digraph(k);
+    const auto report = verify_equilibrium(g, CostVersion::Max);
+    EXPECT_TRUE(report.stable) << "k=" << k << ": player " << report.deviator << " improves "
+                               << report.old_cost << " → " << report.new_cost;
+  }
+}
+
+TEST(Spider, IsNotSumEquilibriumForLargeK) {
+  // In the SUM version tree equilibria have diameter O(log n), so the long
+  // spider cannot be a SUM equilibrium once k is large enough.
+  const Digraph g = spider_digraph(8);
+  EXPECT_FALSE(verify_equilibrium(g, CostVersion::Sum).stable);
+}
+
+TEST(Spider, MaxCostsMatchTheProof) {
+  // The hub's local diameter is k; a leg tip's is 2k.
+  const std::uint32_t k = 6;
+  const Digraph g = spider_digraph(k);
+  const SpiderLayout layout = spider_layout(k);
+  const UGraph u = g.underlying();
+  EXPECT_EQ(eccentricity(u, layout.hub), k);
+  EXPECT_EQ(eccentricity(u, layout.leg_vertex(0, k)), 2 * k);
+  EXPECT_EQ(eccentricity(u, layout.leg_vertex(1, 1)), k + 1);
+}
+
+TEST(Spider, PoaScalesLinearlyInN) {
+  // diam = 2k = 2(n−1)/3 while OPT is O(1): the Θ(n) row of Table 1.
+  const std::uint32_t k = 30;
+  const Digraph g = spider_digraph(k);
+  const std::uint32_t n = g.num_vertices();
+  EXPECT_EQ(tree_diameter(g.underlying()), 2 * (n - 1) / 3);
+}
+
+}  // namespace
+}  // namespace bbng

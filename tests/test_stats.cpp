@@ -1,0 +1,129 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbng {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const double data[] = {1, 2, 3, 4, 5};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 5U);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summarize, EvenCountMedianAverages) {
+  const double data[] = {1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(summarize(data).median, 2.5);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const double data[] = {7.5};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(FitLinear, ExactLine) {
+  const double x[] = {0, 1, 2, 3};
+  const double y[] = {1, 3, 5, 7};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineStillCloseWithLowerR2) {
+  const double x[] = {0, 1, 2, 3, 4, 5};
+  const double y[] = {0.1, 0.9, 2.2, 2.8, 4.1, 4.9};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLinear, ConstantYIsPerfectFlatFit) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLinear, DegenerateInputsRejected) {
+  const double one[] = {1};
+  EXPECT_THROW((void)fit_linear(one, one), std::invalid_argument);
+  const double same_x[] = {2, 2, 2};
+  const double y[] = {1, 2, 3};
+  EXPECT_THROW((void)fit_linear(same_x, y), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  // y = 3 x^2
+  std::vector<double> x, y;
+  for (double v = 1; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(3 * v * v);
+  }
+  const LinearFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLaw, LinearGrowthHasSlopeOne) {
+  // Spider: diameter = 2(n-1)/3 — slope 1 in log-log space.
+  std::vector<double> n, diam;
+  for (double k = 1; k <= 256; k *= 2) {
+    n.push_back(3 * k + 1);
+    diam.push_back(2 * k);
+  }
+  const LinearFit fit = fit_power_law(n, diam);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  const double x[] = {1, 2};
+  const double y[] = {0, 1};
+  EXPECT_THROW((void)fit_power_law(x, y), std::invalid_argument);
+}
+
+TEST(FitLogLaw, RecoversLogCoefficient) {
+  // y = 2 log2(x) + 1
+  std::vector<double> x, y;
+  for (double v = 2; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(2 * std::log2(v) + 1);
+  }
+  const LinearFit fit = fit_log_law(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const double data[] = {-1, 0.1, 0.4, 0.6, 0.9, 2.0};
+  const auto h = histogram(data, 0, 1, 2);
+  ASSERT_EQ(h.size(), 2U);
+  EXPECT_EQ(h[0], 3U);  // -1 clamps into bin 0, plus 0.1, 0.4
+  EXPECT_EQ(h[1], 3U);  // 0.6, 0.9, and 2.0 clamps into the last bin
+}
+
+TEST(Histogram, InvalidParamsRejected) {
+  const double data[] = {1};
+  EXPECT_THROW((void)histogram(data, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)histogram(data, 1, 1, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,154 @@
+// StrategyEvaluator is the hot path of every solver; these tests pin it
+// against the reference implementation (rebuild the realization, recompute
+// the cost from scratch) across random graphs, strategies, and both cost
+// versions — including disconnected and brace-heavy cases.
+#include "game/strategy_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/cost.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+/// Reference: rebuild the digraph with u's strategy replaced, recompute.
+std::uint64_t reference_cost(const Digraph& g, Vertex u, std::span<const Vertex> strategy,
+                             CostVersion version) {
+  Digraph copy = g;
+  copy.set_strategy(u, strategy);
+  return vertex_cost(copy, u, version);
+}
+
+TEST(StrategyEvaluator, CurrentCostMatchesReference) {
+  Rng rng(101);
+  for (int round = 0; round < 20; ++round) {
+    const auto budgets = random_budgets(12, 14, rng);
+    const Digraph g = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      for (Vertex u = 0; u < 12; ++u) {
+        const StrategyEvaluator eval(g, u, version);
+        EXPECT_EQ(eval.current_cost(), vertex_cost(g, u, version))
+            << "round " << round << " u " << u << " " << to_string(version);
+      }
+    }
+  }
+}
+
+TEST(StrategyEvaluator, RandomDeviationsMatchReference) {
+  Rng rng(102);
+  for (int round = 0; round < 15; ++round) {
+    const auto budgets = random_budgets(10, 12, rng);
+    const Digraph g = random_profile(budgets, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      for (Vertex u = 0; u < 10; ++u) {
+        const StrategyEvaluator eval(g, u, version);
+        StrategyEvaluator::Scratch scratch(10);
+        for (int trial = 0; trial < 5; ++trial) {
+          // Random deviation of the same size.
+          auto picks = rng.sample(9, g.out_degree(u));
+          std::vector<Vertex> strategy;
+          for (const auto p : picks) strategy.push_back(p >= u ? p + 1 : p);
+          EXPECT_EQ(eval.evaluate(strategy, scratch),
+                    reference_cost(g, u, strategy, version))
+              << "round " << round << " u " << u << " " << to_string(version);
+        }
+      }
+    }
+  }
+}
+
+TEST(StrategyEvaluator, DisconnectedCandidatesMatchReference) {
+  // Two far components; moving u's arcs around changes κ.
+  Digraph g(6);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(3, 4);
+  g.add_arc(4, 5);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    for (const Vertex u : {0U, 3U}) {
+      const StrategyEvaluator eval(g, u, version);
+      StrategyEvaluator::Scratch scratch(6);
+      for (Vertex t = 0; t < 6; ++t) {
+        if (t == u) continue;
+        const std::vector<Vertex> strategy{t};
+        EXPECT_EQ(eval.evaluate(strategy, scratch), reference_cost(g, u, strategy, version));
+      }
+    }
+  }
+}
+
+TEST(StrategyEvaluator, ZeroBudgetPlayer) {
+  Digraph g(4);
+  g.add_arc(1, 0);
+  g.add_arc(2, 1);
+  g.add_arc(3, 2);
+  const StrategyEvaluator eval(g, 0, CostVersion::Sum);
+  StrategyEvaluator::Scratch scratch(4);
+  EXPECT_EQ(eval.evaluate({}, scratch), reference_cost(g, 0, {}, CostVersion::Sum));
+  EXPECT_EQ(eval.current_cost(), vertex_cost(g, 0, CostVersion::Sum));
+}
+
+TEST(StrategyEvaluator, IsolatedPlayerNoSeeds) {
+  // Player 0 owns nothing and nobody points at it.
+  Digraph g(5);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  g.add_arc(3, 4);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const StrategyEvaluator eval(g, 0, version);
+    StrategyEvaluator::Scratch scratch(5);
+    EXPECT_EQ(eval.evaluate({}, scratch), reference_cost(g, 0, {}, version));
+  }
+}
+
+TEST(StrategyEvaluator, BraceCreationMatchesReference) {
+  // u already receives an arc from 1; pointing back creates a brace.
+  Digraph g(4);
+  g.add_arc(1, 0);
+  g.add_arc(0, 2);
+  g.add_arc(2, 3);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const StrategyEvaluator eval(g, 0, version);
+    StrategyEvaluator::Scratch scratch(4);
+    const std::vector<Vertex> brace_strategy{1};
+    EXPECT_EQ(eval.evaluate(brace_strategy, scratch),
+              reference_cost(g, 0, brace_strategy, version));
+  }
+}
+
+TEST(StrategyEvaluator, SingleVertexGame) {
+  const Digraph g(1);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    const StrategyEvaluator eval(g, 0, version);
+    StrategyEvaluator::Scratch scratch(1);
+    EXPECT_EQ(eval.evaluate({}, scratch), 0U);
+  }
+}
+
+TEST(StrategyEvaluator, RejectsSelfHead) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  const StrategyEvaluator eval(g, 0, CostVersion::Sum);
+  StrategyEvaluator::Scratch scratch(3);
+  const std::vector<Vertex> bad{0};
+  EXPECT_THROW((void)eval.evaluate(bad, scratch), std::invalid_argument);
+}
+
+TEST(StrategyEvaluator, ScratchReuseAcrossManyEvaluations) {
+  Rng rng(103);
+  const auto budgets = random_budgets(14, 20, rng);
+  const Digraph g = random_profile(budgets, rng);
+  const StrategyEvaluator eval(g, 2, CostVersion::Sum);
+  StrategyEvaluator::Scratch scratch(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto picks = rng.sample(13, g.out_degree(2));
+    std::vector<Vertex> strategy;
+    for (const auto p : picks) strategy.push_back(p >= 2 ? p + 1 : p);
+    EXPECT_EQ(eval.evaluate(strategy, scratch),
+              reference_cost(g, 2, strategy, CostVersion::Sum));
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bbng {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"n", "diameter"});
+  t.new_row().add(10).add(3);
+  t.new_row().add(100).add(5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("diameter"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("| 3"), std::string::npos);
+}
+
+TEST(Table, TitleIsPrinted) {
+  Table t({"x"});
+  t.set_title("Table 1 reproduction");
+  t.new_row().add(1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Table 1 reproduction", 0), 0U);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"name", "value"});
+  t.new_row().add("a,b").add("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CsvPlainValuesUnquoted) {
+  Table t({"a", "b"});
+  t.new_row().add(1).add(2.5, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, DoublePrecisionIsRespected) {
+  Table t({"v"});
+  t.new_row().add(3.14159, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14");
+}
+
+TEST(Table, CellAccessorsAndCounts) {
+  Table t({"a", "b", "c"});
+  t.new_row().add("x").add("y").add("z");
+  EXPECT_EQ(t.row_count(), 1U);
+  EXPECT_EQ(t.column_count(), 3U);
+  EXPECT_EQ(t.cell(0, 2), "z");
+  EXPECT_THROW((void)t.cell(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)t.cell(0, 3), std::invalid_argument);
+}
+
+TEST(Table, AddWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add(1), std::invalid_argument);
+}
+
+TEST(Table, OverfilledRowThrows) {
+  Table t({"a"});
+  t.new_row().add(1);
+  EXPECT_THROW(t.add(2), std::invalid_argument);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.new_row().add(1);
+  EXPECT_THROW(t.new_row(), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnListRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintDispatchesOnCsvFlag) {
+  Table t({"a"});
+  t.new_row().add(7);
+  std::ostringstream ascii, csv;
+  t.print(ascii, false);
+  t.print(csv, true);
+  EXPECT_NE(ascii.str().find('+'), std::string::npos);
+  EXPECT_EQ(csv.str(), "a\n7\n");
+}
+
+}  // namespace
+}  // namespace bbng

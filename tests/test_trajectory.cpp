@@ -1,0 +1,71 @@
+#include "game/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/cost.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(Trajectory, RecordedWhenRequested) {
+  const Digraph initial = path_digraph(8);
+  DynamicsConfig config;
+  config.version = CostVersion::Max;
+  config.record_trajectory = true;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  ASSERT_TRUE(result.converged);
+  // initial state + one entry per executed round
+  EXPECT_EQ(result.trajectory.size(), result.rounds + 1);
+  EXPECT_EQ(result.trajectory.front(), social_cost(initial.underlying()));
+  EXPECT_EQ(result.trajectory.back(), social_cost(result.graph.underlying()));
+}
+
+TEST(Trajectory, EmptyWhenDisabled) {
+  const Digraph initial = path_digraph(6);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  EXPECT_TRUE(result.trajectory.empty());
+}
+
+TEST(Trajectory, DisconnectedStartShowsCinfThenDrops) {
+  // Unit-budget game from a deliberately disconnected start: the first
+  // trajectory entry is n², later entries are real diameters.
+  Digraph initial(6);
+  initial.add_arc(0, 1);
+  initial.add_arc(1, 0);
+  initial.add_arc(2, 3);
+  initial.add_arc(3, 2);
+  initial.add_arc(4, 5);
+  initial.add_arc(5, 4);
+  DynamicsConfig config;
+  config.version = CostVersion::Sum;
+  config.record_trajectory = true;
+  const DynamicsResult result = run_best_response_dynamics(initial, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.trajectory.front(), 36U);
+  EXPECT_LT(result.trajectory.back(), 6U);
+}
+
+TEST(Trajectory, NonIncreasingOnUnitBudgetRuns) {
+  // Not guaranteed in general (players optimise selfishly, not socially),
+  // but the final value can never exceed Cinf and must equal the final
+  // diameter; spot-check internal consistency on random runs.
+  Rng rng(55);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<std::uint32_t> budgets(9, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Max;
+    config.record_trajectory = true;
+    config.seed = static_cast<std::uint64_t>(round);
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    for (const auto cost : result.trajectory) EXPECT_LE(cost, 81U);
+    EXPECT_EQ(result.trajectory.back(), social_cost(result.graph.underlying()));
+  }
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,126 @@
+#include "graph/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(IsTree, PositiveCases) {
+  EXPECT_TRUE(is_tree(path_ugraph(1)));
+  EXPECT_TRUE(is_tree(path_ugraph(8)));
+  UGraph star(5);
+  for (Vertex v = 1; v < 5; ++v) star.add_edge(0, v);
+  EXPECT_TRUE(is_tree(star));
+  EXPECT_TRUE(is_tree(UGraph(0)));
+}
+
+TEST(IsTree, NegativeCases) {
+  EXPECT_FALSE(is_tree(cycle_ugraph(4)));
+  UGraph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_FALSE(is_tree(forest));
+}
+
+TEST(TreeDiameter, PathAndStar) {
+  EXPECT_EQ(tree_diameter(path_ugraph(10)), 9U);
+  UGraph star(6);
+  for (Vertex v = 1; v < 6; ++v) star.add_edge(0, v);
+  EXPECT_EQ(tree_diameter(star), 2U);
+  EXPECT_EQ(tree_diameter(path_ugraph(1)), 0U);
+}
+
+TEST(TreeDiameter, MatchesEccentricitySweepOnRandomTrees) {
+  Rng rng(31);
+  for (int round = 0; round < 15; ++round) {
+    const UGraph g = random_tree_digraph(50, rng).underlying();
+    EXPECT_EQ(tree_diameter(g), diameter(g));
+  }
+}
+
+TEST(TreeLongestPath, EndpointsRealizeDiameter) {
+  Rng rng(32);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = random_tree_digraph(30, rng).underlying();
+    const auto path = tree_longest_path(g);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.size(), tree_diameter(g) + 1);
+    // Consecutive path vertices must be adjacent.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(RootTree, ParentsDepthsChildren) {
+  const UGraph g = path_ugraph(5);
+  const RootedTree t = root_tree(g, 2);
+  EXPECT_EQ(t.root, 2U);
+  EXPECT_EQ(t.parent[2], 2U);
+  EXPECT_EQ(t.parent[1], 2U);
+  EXPECT_EQ(t.parent[0], 1U);
+  EXPECT_EQ(t.depth[0], 2U);
+  EXPECT_EQ(t.depth[4], 2U);
+  EXPECT_EQ(t.height(), 2U);
+  EXPECT_EQ(t.children[2].size(), 2U);
+  EXPECT_EQ(t.bfs_order.size(), 5U);
+  EXPECT_EQ(t.bfs_order[0], 2U);
+}
+
+TEST(SubtreeSizes, SumsAndLeaves) {
+  UGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  const RootedTree t = root_tree(g, 0);
+  const auto size = subtree_sizes(t);
+  EXPECT_EQ(size[0], 5U);
+  EXPECT_EQ(size[1], 3U);
+  EXPECT_EQ(size[2], 1U);
+  EXPECT_EQ(size[3], 1U);
+}
+
+TEST(SubtreeSizes, RandomTreesRootCoversAll) {
+  Rng rng(33);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = random_tree_digraph(25, rng).underlying();
+    const RootedTree t = root_tree(g, 0);
+    EXPECT_EQ(subtree_sizes(t)[0], 25U);
+  }
+}
+
+TEST(PathAttachmentSizes, SpiderDecomposition) {
+  // Path 0-1-2 with extra leaves 3,4 on vertex 1.
+  UGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  const Vertex path[] = {0, 1, 2};
+  const auto a = path_attachment_sizes(g, path);
+  ASSERT_EQ(a.size(), 3U);
+  EXPECT_EQ(a[0], 1U);
+  EXPECT_EQ(a[1], 3U);  // vertex 1 plus leaves 3, 4
+  EXPECT_EQ(a[2], 1U);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0ULL), 5U);
+}
+
+TEST(PathAttachmentSizes, LongestPathCoversTree) {
+  Rng rng(34);
+  for (int round = 0; round < 10; ++round) {
+    const UGraph g = random_tree_digraph(40, rng).underlying();
+    const auto path = tree_longest_path(g);
+    const auto a = path_attachment_sizes(g, path);
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0ULL), 40U);
+    for (const auto ai : a) EXPECT_GE(ai, 1U);  // each spine vertex counts itself
+  }
+}
+
+}  // namespace
+}  // namespace bbng

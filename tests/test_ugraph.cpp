@@ -1,0 +1,85 @@
+#include "graph/ugraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbng {
+namespace {
+
+TEST(UGraph, AddRemoveEdge) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 2U);
+  g.remove_edge(1, 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1U);
+}
+
+TEST(UGraph, NeighborsSortedBothSides) {
+  UGraph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3U);
+  EXPECT_EQ(nbrs[0], 0U);
+  EXPECT_EQ(nbrs[1], 3U);
+  EXPECT_EQ(nbrs[2], 4U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.neighbors(0)[0], 2U);
+}
+
+TEST(UGraph, SelfLoopRejected) {
+  UGraph g(3);
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);
+}
+
+TEST(UGraph, DuplicateEdgeRejected) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(UGraph, RemoveMissingEdgeRejected) {
+  UGraph g(3);
+  EXPECT_THROW(g.remove_edge(0, 1), std::invalid_argument);
+}
+
+TEST(UGraph, DegreeExtremes) {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3U);
+  EXPECT_EQ(g.min_degree(), 1U);
+}
+
+TEST(UGraph, CompleteDetection) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_FALSE(g.is_complete());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_complete());
+}
+
+TEST(UGraph, TrivialGraphsAreComplete) {
+  EXPECT_TRUE(UGraph(0).is_complete());
+  EXPECT_TRUE(UGraph(1).is_complete());
+}
+
+TEST(UGraph, EqualityIsStructural) {
+  UGraph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.remove_edge(0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,124 @@
+// Section 4: structure of (1,…,1)-BG equilibria — Theorems 4.1 and 4.2.
+#include "constructions/unit_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/cycles.hpp"
+#include "graph/distances.hpp"
+#include "graph/generators.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(CycleWithLeaves, ShapeAndBudgets) {
+  const Digraph g = cycle_with_leaves(3, {2, 0, 1});
+  EXPECT_EQ(g.num_vertices(), 6U);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 1U);
+  const auto profile = analyze_unicyclic(g);
+  EXPECT_TRUE(profile.connected);
+  EXPECT_EQ(profile.cycle_length, 3U);
+  EXPECT_EQ(profile.max_dist_to_cycle, 1U);
+}
+
+TEST(CycleWithLeaves, BraceCycle) {
+  const Digraph g = cycle_with_uniform_leaves(2, 1);
+  EXPECT_EQ(g.brace_count(), 1U);
+  const auto profile = analyze_unicyclic(g);
+  EXPECT_EQ(profile.cycle_length, 2U);
+}
+
+TEST(UnitBudgetBounds, PaperConstants) {
+  EXPECT_EQ(unit_budget_bounds(false).max_cycle_length, 5U);
+  EXPECT_EQ(unit_budget_bounds(false).diameter_bound, 5U);
+  EXPECT_EQ(unit_budget_bounds(true).max_cycle_length, 7U);
+  EXPECT_EQ(unit_budget_bounds(true).diameter_bound, 8U);
+}
+
+// Property sweep (Theorems 4.1 / 4.2): run BR dynamics on random unit-budget
+// profiles; every reached equilibrium must satisfy the structure theorems.
+class UnitBudgetEquilibria : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(UnitBudgetEquilibria, StructureTheoremsHold) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+  const std::vector<std::uint32_t> budgets(static_cast<std::size_t>(n), 1);
+  const Digraph initial = random_profile(budgets, rng);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    DynamicsConfig config;
+    config.version = version;
+    config.max_rounds = 400;
+    config.seed = static_cast<std::uint64_t>(seed);
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;  // cycling is allowed; theorems speak of equilibria
+    ASSERT_TRUE(verify_equilibrium(result.graph, version).stable);
+
+    const auto profile = analyze_unicyclic(result.graph);
+    const auto bounds = unit_budget_bounds(version == CostVersion::Max);
+    EXPECT_TRUE(profile.connected) << to_string(version);
+    EXPECT_TRUE(profile.unicyclic);
+    EXPECT_LE(profile.cycle_length, bounds.max_cycle_length) << to_string(version);
+    EXPECT_LE(profile.max_dist_to_cycle, bounds.max_dist_to_cycle) << to_string(version);
+    EXPECT_LT(diameter(result.graph.underlying()), bounds.diameter_bound)
+        << to_string(version);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnitBudgetEquilibria,
+                         ::testing::Combine(::testing::Values(6, 9, 12, 16, 20),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(UnitBudget, EquilibriaHaveNoBraceBeyondTwoPlayers) {
+  // Theorem 4.1 (SUM): equilibria with n > 2 contain no brace.
+  Rng rng(701);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<std::uint32_t> budgets(11, 1);
+    const Digraph initial = random_profile(budgets, rng);
+    DynamicsConfig config;
+    config.version = CostVersion::Sum;
+    config.max_rounds = 400;
+    config.seed = static_cast<std::uint64_t>(round);
+    const DynamicsResult result = run_best_response_dynamics(initial, config);
+    if (!result.converged) continue;
+    EXPECT_EQ(result.graph.brace_count(), 0U);
+  }
+}
+
+TEST(UnitBudget, TwoPlayerGameIsBrace) {
+  const std::vector<std::uint32_t> budgets(2, 1);
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    EXPECT_TRUE(verify_equilibrium(g, version).stable);
+  }
+}
+
+TEST(UnitBudget, ShortPureCyclesAreSumEquilibria) {
+  // Theorem 4.1 allows cycles up to length 5; the pure directed cycles
+  // C3, C4, C5 are themselves equilibria.
+  for (const std::uint32_t len : {3U, 4U, 5U}) {
+    EXPECT_TRUE(verify_equilibrium(cycle_digraph(len), CostVersion::Sum).stable)
+        << "C" << len;
+  }
+}
+
+TEST(UnitBudget, LeavesClusterInEquilibria) {
+  // A triangle with all leaves on ONE cycle vertex is a SUM equilibrium,
+  // whereas spreading the same leaves evenly is not: a leaf prefers the
+  // vertex where the other leaves already sit.
+  EXPECT_TRUE(verify_equilibrium(cycle_with_leaves(3, {3, 0, 0}), CostVersion::Sum).stable);
+  EXPECT_FALSE(verify_equilibrium(cycle_with_leaves(3, {1, 1, 1}), CostVersion::Sum).stable);
+}
+
+TEST(UnitBudget, LongCycleIsNotEquilibrium) {
+  // A pure directed cycle longer than the Theorem 4.1/4.2 bounds cannot be
+  // stable.
+  const Digraph g = cycle_digraph(12);
+  EXPECT_FALSE(verify_equilibrium(g, CostVersion::Sum).stable);
+  EXPECT_FALSE(verify_equilibrium(g, CostVersion::Max).stable);
+}
+
+}  // namespace
+}  // namespace bbng
