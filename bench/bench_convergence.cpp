@@ -32,7 +32,7 @@ int run(int argc, const char** argv) {
   Table table({"version", "schedule", "sigma/n", "n", "converged", "cycles",
                "rounds(mean)", "moves(mean)"});
   for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
-    for (const auto [schedule, name] :
+    for (const auto& [schedule, name] :
          {std::pair{Schedule::RoundRobin, "round-robin"},
           std::pair{Schedule::RandomPermutation, "random-perm"}}) {
       for (const double density : {1.0, 2.0}) {

@@ -72,7 +72,7 @@ int run(int argc, const char** argv) {
 
   bench::banner("Ablation — dynamics schedule vs convergence speed (SUM, n=32)");
   Table ablation({"schedule", "converged", "rounds", "moves", "evaluations"});
-  for (const auto [schedule, name] :
+  for (const auto& [schedule, name] :
        {std::pair{Schedule::RoundRobin, "round-robin"},
         std::pair{Schedule::RandomPermutation, "random-permutation"},
         std::pair{Schedule::UniformRandom, "uniform-random"}}) {

@@ -1,0 +1,26 @@
+# Shared per-target compile/link options for the bbng tree.
+#
+#   BBNG_WERROR   — treat warnings as errors (default OFF; CI turns it on)
+#   BBNG_SANITIZE — build with AddressSanitizer + UBSan (default OFF)
+
+option(BBNG_WERROR "Treat warnings as errors" OFF)
+option(BBNG_SANITIZE "Enable Address/UB sanitizers" OFF)
+
+function(bbng_apply_options target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(BBNG_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+    if(BBNG_SANITIZE)
+      target_compile_options(${target} PRIVATE
+        -fsanitize=address,undefined -fno-omit-frame-pointer)
+      target_link_options(${target} PRIVATE -fsanitize=address,undefined)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(BBNG_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

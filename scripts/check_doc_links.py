@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Check that every repo-relative path mentioned in the docs exists.
+
+Scans README.md and docs/paper_map.md for markdown links and inline-code
+path mentions. Markdown links are resolved relative to the file that
+contains them; inline-code paths are resolved against the repo root.
+Exits non-zero listing any that do not resolve. External URLs and pure
+anchors are ignored.
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = ["README.md", "docs/paper_map.md"]
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+CODE = re.compile(r"`([A-Za-z0-9_./-]+\.(?:hpp|cpp|md|json|cmake|py|yml))`")
+
+
+def main() -> int:
+    missing = []
+    for doc in DOCS:
+        doc_path = REPO / doc
+        if not doc_path.is_file():
+            missing.append((doc, "(document itself is missing)"))
+            continue
+        text = doc_path.read_text(encoding="utf-8")
+        refs = {(ref, doc_path.parent) for ref in LINK.findall(text)}
+        refs |= {(ref, REPO) for ref in CODE.findall(text)}
+        for ref, base in sorted(refs):
+            if ref.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (base / ref).resolve().exists():
+                missing.append((doc, ref))
+    if missing:
+        for doc, ref in missing:
+            print(f"BROKEN: {doc} -> {ref}")
+        return 1
+    print(f"OK: all doc links in {', '.join(DOCS)} resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,3 +1,5 @@
+// Unit tests for audit_state(): the one-call report of connectivity, cost
+// spread, braces, and the strongest feasible stability certificate.
 #include "game/analysis.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Unit tests for the best-response solver ladder (exact / greedy / swap) of
+// best_response.hpp, including agreement of heuristics with exact search.
 #include "game/best_response.hpp"
 
 #include <gtest/gtest.h>

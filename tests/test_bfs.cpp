@@ -1,3 +1,4 @@
+// Unit tests for the BFS primitives and the reusable BfsRunner scratch.
 #include "graph/bfs.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for the declarative CLI flag parser shared by bench/examples.
 #include "util/cli.hpp"
 
 #include <gtest/gtest.h>

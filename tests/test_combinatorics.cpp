@@ -1,3 +1,5 @@
+// Unit tests for combination counting, ranking, and enumeration — the
+// machinery behind parallel exact best-response search.
 #include "util/combinatorics.hpp"
 
 #include <gtest/gtest.h>

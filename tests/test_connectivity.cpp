@@ -1,3 +1,4 @@
+// Unit tests for connected components and exact vertex connectivity.
 #include "graph/connectivity.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for cycle-structure analysis used by the Section 4 experiments.
 #include "graph/cycles.hpp"
 
 #include <gtest/gtest.h>

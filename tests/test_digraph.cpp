@@ -1,3 +1,4 @@
+// Unit tests for Digraph: arc ownership, braces, and underlying-graph view.
 #include "graph/digraph.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Unit tests for distance aggregates: eccentricities, diameter, radius,
+// and per-vertex distance sums.
 #include "graph/distances.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Unit tests for the best-response dynamics engine: convergence detection,
+// schedules, and exactness bookkeeping (Section 8 machinery).
 #include "game/dynamics.hpp"
 
 #include <gtest/gtest.h>

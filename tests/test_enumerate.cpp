@@ -1,3 +1,4 @@
+// Unit tests for exhaustive small-game enumeration over all realizations.
 #include "game/enumerate.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Unit tests for Nash / swap-equilibrium verification and the Lemma 2.2
+// certificate counter.
 #include "game/equilibrium.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for the k-median and k-center solvers of src/facility.
 #include "facility/kcenter.hpp"
 #include "facility/kmedian.hpp"
 

@@ -1,3 +1,4 @@
+// Unit tests for Section 6: weighted games, weak equilibria, leaf folding.
 #include "game/folding.hpp"
 
 #include <gtest/gtest.h>

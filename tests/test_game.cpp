@@ -1,3 +1,5 @@
+// Unit tests for BudgetGame: budget accounting, tree/connectivity
+// thresholds, and realization validation.
 #include "game/game.hpp"
 
 #include <gtest/gtest.h>

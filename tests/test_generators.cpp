@@ -1,3 +1,4 @@
+// Unit tests for the graph and instance generators used across the suite.
 #include "graph/generators.hpp"
 
 #include <gtest/gtest.h>

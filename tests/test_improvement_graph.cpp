@@ -1,3 +1,4 @@
+// Unit tests for the Section 8 improvement-graph analysis on small games.
 #include "game/improvement_graph.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for graph serialization: DOT export and edge-list round-trips.
 #include "graph/io.hpp"
 
 #include <gtest/gtest.h>

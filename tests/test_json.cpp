@@ -1,3 +1,4 @@
+// Unit tests for the minimal JSON writer used by experiment records.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for Dinic maximum flow (backbone of vertex connectivity).
 #include "graph/maxflow.hpp"
 
 #include <gtest/gtest.h>

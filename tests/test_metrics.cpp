@@ -1,3 +1,4 @@
+// Unit tests for auxiliary graph metrics: girth, center, periphery.
 #include "graph/metrics.hpp"
 
 #include <gtest/gtest.h>

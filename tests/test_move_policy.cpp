@@ -1,3 +1,5 @@
+// Unit tests comparing dynamics move policies (best response vs first
+// improving swap) and the certificates each convergence yields.
 #include "game/dynamics.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for OPT diameter bounds and price-of-anarchy estimates.
 #include "constructions/poa.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for the deterministic xoshiro256** RNG wrapper.
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>

@@ -13,7 +13,7 @@ namespace bbng {
 namespace {
 
 TEST(ShiftGraph, SizeDegreeBounds) {
-  for (const auto [t, k] : {std::pair{3U, 2U}, {4U, 2U}, {4U, 3U}, {8U, 2U}}) {
+  for (const auto& [t, k] : {std::pair{3U, 2U}, {4U, 2U}, {4U, 3U}, {8U, 2U}}) {
     const UGraph g = shift_graph(t, k);
     std::uint32_t expected = 1;
     for (std::uint32_t i = 0; i < k; ++i) expected *= t;
@@ -25,7 +25,7 @@ TEST(ShiftGraph, SizeDegreeBounds) {
 }
 
 TEST(ShiftGraph, DiameterIsExactlyK) {
-  for (const auto [t, k] : {std::pair{4U, 2U}, {5U, 2U}, {8U, 2U}, {4U, 3U}, {8U, 3U}}) {
+  for (const auto& [t, k] : {std::pair{4U, 2U}, {5U, 2U}, {8U, 2U}, {4U, 3U}, {8U, 3U}}) {
     EXPECT_EQ(diameter(shift_graph(t, k)), k) << "t=" << t << " k=" << k;
   }
 }

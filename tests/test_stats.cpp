@@ -1,3 +1,4 @@
+// Unit tests for the summary-statistics helpers.
 #include "util/stats.hpp"
 
 #include <gtest/gtest.h>

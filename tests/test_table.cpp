@@ -1,3 +1,4 @@
+// Unit tests for the ASCII/CSV table renderer used by the bench harness.
 #include "util/table.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Unit tests for ThreadPool: chunked bulk execution, exception transport,
+// and serial degradation at width 1.
 #include "parallel/thread_pool.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for social-cost trajectory recording in dynamics runs.
 #include "game/dynamics.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for rooted/free tree utilities (diameter, spine, A_i pieces).
 #include "graph/tree.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// Unit tests for UGraph: adjacency invariants and the metric view.
 #include "graph/ugraph.hpp"
 
 #include <gtest/gtest.h>
