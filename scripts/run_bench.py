@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Run the delta-eval perf benches and record the trajectory as JSON.
+
+Runs ``bench_delta_eval`` (incremental vs naive swap evaluation) and
+``bench_best_response`` (solver-ladder sanity) from a build directory and
+writes ``BENCH_delta_eval.json`` with one row per (family, n, version):
+
+    {"family": ..., "n": ..., "version": "SUM"|"MAX",
+     "naive_ms": ..., "incremental_ms": ..., "speedup": ...,
+     "bfs_avoided_pct": ...}
+
+The JSON is the repo's perf trajectory for the dynamic-BFS oracle: CI runs
+this at a small n and uploads the artifact; release-sized numbers are
+committed at the repo root whenever the oracle changes. Exits non-zero if
+either bench reports a failed sanity check.
+
+Usage:
+    python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
+                                 [--min-n 128] [--max-n 1024] [--players 24] [--seed 1]
+"""
+
+import argparse
+import csv
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run_binary(path, args):
+    """Run a bench binary; return (ok, stdout). Missing binary is an error."""
+    if not path.exists():
+        print(f"error: {path} not found — build the project first", file=sys.stderr)
+        sys.exit(2)
+    proc = subprocess.run(
+        [str(path)] + args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    return proc.returncode == 0, proc.stdout
+
+
+def parse_csv_table(text, leading_column):
+    """Extract the CSV table whose header starts with `leading_column`."""
+    lines = text.splitlines()
+    try:
+        start = next(i for i, line in enumerate(lines) if line.startswith(leading_column + ","))
+    except StopIteration:
+        return []
+    table = [lines[start]]
+    for line in lines[start + 1 :]:
+        if "," not in line:
+            break
+        table.append(line)
+    return list(csv.DictReader(table))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument("--output", default="BENCH_delta_eval.json", help="JSON output path")
+    parser.add_argument("--min-n", type=int, default=128)
+    parser.add_argument("--max-n", type=int, default=1024)
+    parser.add_argument("--players", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    build = pathlib.Path(args.build_dir)
+
+    delta_ok, delta_out = run_binary(
+        build / "bench_delta_eval",
+        [
+            "--csv",
+            "--min-n", str(args.min_n),
+            "--max-n", str(args.max_n),
+            "--players", str(args.players),
+            "--seed", str(args.seed),
+        ],
+    )
+    rows = []
+    for record in parse_csv_table(delta_out, "family"):
+        rows.append(
+            {
+                "family": record["family"],
+                "n": int(record["n"]),
+                "version": record["version"],
+                "naive_ms": float(record["naive_ms"]),
+                "incremental_ms": float(record["incremental_ms"]),
+                "speedup": float(record["speedup"]),
+                "bfs_avoided_pct": float(record["bfs_avoided_pct"]),
+            }
+        )
+    if not rows:
+        print("error: no CSV rows parsed from bench_delta_eval output:", file=sys.stderr)
+        print(delta_out, file=sys.stderr)
+        sys.exit(2)
+
+    ladder_ok, ladder_out = run_binary(
+        build / "bench_best_response", ["--seed", str(args.seed)]
+    )
+
+    payload = {
+        "bench": "delta_eval",
+        "config": {
+            "min_n": args.min_n,
+            "max_n": args.max_n,
+            "players": args.players,
+            "seed": args.seed,
+        },
+        "rows": rows,
+        "checks": {
+            "bench_delta_eval_ok": delta_ok,
+            "bench_best_response_ok": ladder_ok,
+        },
+    }
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(rows)} rows)")
+
+    best = max((r["speedup"] for r in rows if r["n"] >= 512), default=None)
+    if best is not None:
+        print(f"best speedup at n >= 512: {best:.2f}x")
+    if not delta_ok or not ladder_ok:
+        print("error: a bench reported failed sanity checks", file=sys.stderr)
+        print(delta_out if not delta_ok else ladder_out, file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

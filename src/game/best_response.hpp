@@ -15,6 +15,12 @@
 //
 // All solvers return the player's *cost under the returned strategy*; they
 // never mutate the input graph.
+//
+// greedy and swap score candidates through the incremental DeltaEvaluator by
+// default (consecutive candidates differ by one head, so each evaluation is
+// two dynamic-BFS edge operations instead of a fresh multi-source BFS); pass
+// incremental = false to force the naive rebuild path, which must agree
+// bit-for-bit (tests/test_delta_eval.cpp).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,10 @@ struct BestResponse {
   std::uint64_t cost = 0;           ///< player's cost under `strategy`
   std::uint64_t current_cost = 0;   ///< player's cost before deviating
   std::uint64_t evaluated = 0;      ///< candidate strategies scored
+  /// Candidates scored by the incremental delta oracle without any full BFS
+  /// recompute (0 on the naive path and under exact enumeration). evaluated −
+  /// bfs_avoided is the number of full-BFS-equivalent evaluations performed.
+  std::uint64_t bfs_avoided = 0;
   bool exact = false;               ///< true iff produced by full enumeration
   [[nodiscard]] bool improves() const noexcept { return cost < current_cost; }
 };
@@ -40,11 +50,17 @@ struct BestResponse {
 class BestResponseSolver {
  public:
   /// `exact_limit` caps the number of candidates full enumeration may score.
-  explicit BestResponseSolver(CostVersion version, std::uint64_t exact_limit = 2'000'000)
-      : version_(version), exact_limit_(exact_limit) {}
+  /// `incremental` routes greedy/swap scoring through DeltaEvaluator (the
+  /// dynamic-BFS oracle); the naive per-candidate multi-source BFS stays
+  /// available for differential testing. Both paths return bit-identical
+  /// costs and strategies.
+  explicit BestResponseSolver(CostVersion version, std::uint64_t exact_limit = 2'000'000,
+                              bool incremental = true)
+      : version_(version), exact_limit_(exact_limit), incremental_(incremental) {}
 
   [[nodiscard]] CostVersion version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t exact_limit() const noexcept { return exact_limit_; }
+  [[nodiscard]] bool incremental() const noexcept { return incremental_; }
 
   /// Number of candidate strategies of player u (C(n-1, b_u), clamped).
   [[nodiscard]] static std::uint64_t candidate_count(const Digraph& g, Vertex u);
@@ -71,6 +87,7 @@ class BestResponseSolver {
  private:
   CostVersion version_;
   std::uint64_t exact_limit_;
+  bool incremental_;
 };
 
 }  // namespace bbng

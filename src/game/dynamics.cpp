@@ -11,10 +11,22 @@ namespace bbng {
 namespace {
 
 /// First improving single-head swap for player u, or nullopt at a local
-/// optimum. Scans heads in order, targets in vertex order — deterministic.
+/// optimum. Scans heads in order, targets in vertex order — deterministic,
+/// and identical on the incremental and naive paths (the oracle returns
+/// bit-identical costs; the incremental path is the shared
+/// scan_first_improving_swap, the same scan verify_swap_equilibrium runs).
+/// `bfs_avoided` accumulates oracle-served scores.
 std::optional<std::vector<Vertex>> first_improving_swap(const Digraph& g, Vertex u,
-                                                        CostVersion version) {
+                                                        CostVersion version, bool incremental,
+                                                        std::uint64_t& bfs_avoided) {
   const std::uint32_t n = g.num_vertices();
+  if (incremental) {
+    SwapScanResult scan = scan_first_improving_swap(g, u, version);
+    bfs_avoided += scan.bfs_avoided;
+    if (scan.found) return std::move(scan.strategy);
+    return std::nullopt;
+  }
+
   const StrategyEvaluator eval(g, u, version);
   StrategyEvaluator::Scratch scratch(n);
   const std::uint64_t base = eval.current_cost();
@@ -39,7 +51,7 @@ std::optional<std::vector<Vertex>> first_improving_swap(const Digraph& g, Vertex
 DynamicsResult run_best_response_dynamics(const Digraph& initial, const DynamicsConfig& config,
                                           ThreadPool* pool) {
   const std::uint32_t n = initial.num_vertices();
-  const BestResponseSolver solver(config.version, config.exact_limit);
+  const BestResponseSolver solver(config.version, config.exact_limit, config.incremental);
   Rng rng(config.seed);
 
   DynamicsResult result;
@@ -66,7 +78,8 @@ DynamicsResult run_best_response_dynamics(const Digraph& initial, const Dynamics
       if (result.graph.out_degree(u) == 0) continue;
       std::vector<Vertex> next_strategy;
       if (config.policy == MovePolicy::FirstImprovingSwap) {
-        auto swap = first_improving_swap(result.graph, u, config.version);
+        auto swap = first_improving_swap(result.graph, u, config.version, config.incremental,
+                                         result.bfs_avoided);
         result.all_moves_exact = false;  // swap moves never certify Nash
         if (!swap) continue;
         next_strategy = std::move(*swap);
@@ -74,6 +87,7 @@ DynamicsResult run_best_response_dynamics(const Digraph& initial, const Dynamics
       } else {
         const BestResponse br = solver.solve(result.graph, u, pool);
         result.evaluations += br.evaluated;
+        result.bfs_avoided += br.bfs_avoided;
         result.all_moves_exact = result.all_moves_exact && br.exact;
         if (!br.improves()) continue;
         next_strategy = br.strategy;

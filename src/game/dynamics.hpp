@@ -47,6 +47,9 @@ struct DynamicsConfig {
   std::uint64_t seed = 1;                ///< RNG for randomised schedules
   bool detect_cycles = true;             ///< hash states to spot loops
   bool record_trajectory = false;        ///< record social cost per round
+  /// Score moves through the incremental delta oracle (DeltaEvaluator);
+  /// false forces the naive full-BFS path. Both produce identical runs.
+  bool incremental = true;
 };
 
 struct DynamicsResult {
@@ -57,6 +60,7 @@ struct DynamicsResult {
   std::uint64_t rounds = 0;    ///< full passes executed
   std::uint64_t moves = 0;     ///< strategy changes applied
   std::uint64_t evaluations = 0;  ///< candidate strategies scored in total
+  std::uint64_t bfs_avoided = 0;  ///< evaluations served without a full BFS
   /// Social cost (diameter; n² while disconnected) after each round, with
   /// the initial state prepended. Filled when config.record_trajectory.
   std::vector<std::uint64_t> trajectory;

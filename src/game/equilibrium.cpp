@@ -1,7 +1,11 @@
 #include "game/equilibrium.hpp"
 
+#include <atomic>
+#include <mutex>
+
 #include "game/cost.hpp"
 #include "graph/bfs.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace bbng {
 
@@ -26,37 +30,97 @@ EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
 }
 
 EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
-                                          ThreadPool* pool) {
-  (void)pool;  // evaluation is already BFS-bound per player; kept for API symmetry
+                                          ThreadPool* pool, bool incremental) {
   const std::uint32_t n = g.num_vertices();
   EquilibriumReport report;
-  for (Vertex u = 0; u < n; ++u) {
-    if (g.out_degree(u) == 0) continue;
-    const StrategyEvaluator eval(g, u, version);
-    StrategyEvaluator::Scratch scratch(n);
-    const std::uint64_t base_cost = eval.current_cost();
-    std::vector<Vertex> strategy = eval.current_strategy();
-    std::vector<bool> used(n, false);
-    for (const Vertex h : strategy) used[h] = true;
-    used[u] = true;
-    std::vector<Vertex> trial;
-    for (std::size_t i = 0; i < strategy.size(); ++i) {
-      for (Vertex t = 0; t < n; ++t) {
-        if (used[t]) continue;
-        trial = strategy;
-        trial[i] = t;
-        const std::uint64_t cost = eval.evaluate(trial, scratch);
-        ++report.strategies_checked;
-        if (cost < base_cost) {
-          report.stable = false;
-          report.deviator = u;
-          report.improving_strategy = trial;
-          report.old_cost = base_cost;
-          report.new_cost = cost;
-          return report;
+
+  if (!incremental) {
+    // Naive differential reference: one multi-source BFS per deviation.
+    for (Vertex u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) continue;
+      const StrategyEvaluator eval(g, u, version);
+      StrategyEvaluator::Scratch scratch(n);
+      const std::uint64_t base_cost = eval.current_cost();
+      std::vector<Vertex> strategy = eval.current_strategy();
+      std::vector<bool> used(n, false);
+      for (const Vertex h : strategy) used[h] = true;
+      used[u] = true;
+      std::vector<Vertex> trial;
+      for (std::size_t i = 0; i < strategy.size(); ++i) {
+        for (Vertex t = 0; t < n; ++t) {
+          if (used[t]) continue;
+          trial = strategy;
+          trial[i] = t;
+          const std::uint64_t cost = eval.evaluate(trial, scratch);
+          ++report.strategies_checked;
+          if (cost < base_cost) {
+            report.stable = false;
+            report.deviator = u;
+            report.improving_strategy = trial;
+            report.old_cost = base_cost;
+            report.new_cost = cost;
+            return report;
+          }
         }
       }
     }
+    report.stable = true;
+    return report;
+  }
+
+  if (pool == nullptr || pool->width() <= 1 || n < 4) {
+    // Sequential incremental sweep with the same early exit as the naive
+    // path (so strategies_checked also matches it).
+    for (Vertex u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) continue;
+      SwapScanResult scan = scan_first_improving_swap(g, u, version);
+      report.strategies_checked += scan.checked;
+      report.bfs_avoided += scan.bfs_avoided;
+      if (scan.found) {
+        report.stable = false;
+        report.deviator = u;
+        report.improving_strategy = std::move(scan.strategy);
+        report.old_cost = scan.old_cost;
+        report.new_cost = scan.new_cost;
+        return report;
+      }
+    }
+    report.stable = true;
+    return report;
+  }
+
+  // Batched parallel sweep: one delta oracle per scanned player, players
+  // distributed over the pool. Workers skip players above the smallest
+  // deviator found so far, so the reported deviator is deterministic (the
+  // minimum) even though scan completion order is not.
+  std::atomic<std::uint32_t> best_vertex{n};
+  std::atomic<std::uint64_t> checked{0};
+  std::atomic<std::uint64_t> avoided{0};
+  std::mutex best_mutex;
+  SwapScanResult best_scan;
+  parallel_for(*pool, n, [&](std::uint64_t index) {
+    const auto u = static_cast<Vertex>(index);
+    if (g.out_degree(u) == 0) return;
+    if (u >= best_vertex.load(std::memory_order_relaxed)) return;
+    SwapScanResult scan = scan_first_improving_swap(g, u, version);
+    checked.fetch_add(scan.checked, std::memory_order_relaxed);
+    avoided.fetch_add(scan.bfs_avoided, std::memory_order_relaxed);
+    if (!scan.found) return;
+    const std::lock_guard<std::mutex> lock(best_mutex);
+    if (u < best_vertex.load(std::memory_order_relaxed)) {
+      best_vertex.store(u, std::memory_order_relaxed);
+      best_scan = std::move(scan);
+    }
+  });
+  report.strategies_checked = checked.load();
+  report.bfs_avoided = avoided.load();
+  if (best_vertex.load() < n) {
+    report.stable = false;
+    report.deviator = best_vertex.load();
+    report.improving_strategy = std::move(best_scan.strategy);
+    report.old_cost = best_scan.old_cost;
+    report.new_cost = best_scan.new_cost;
+    return report;
   }
   report.stable = true;
   return report;

@@ -5,7 +5,11 @@
 // every player's candidate count fits the solver's exact limit).
 // verify_swap_equilibrium() checks the weaker single-head-swap stability of
 // Section 6 (every Nash equilibrium is also a swap equilibrium), which is
-// polynomial and scales to the large constructions.
+// polynomial and scales to the large constructions. Swap deviations are
+// scored through the incremental delta oracle (DeltaEvaluator) by default,
+// and the sweep is batched across players on a ThreadPool when one is given;
+// the naive sequential full-BFS path stays available for differential
+// testing and returns an identical verdict/deviator.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,9 @@ struct EquilibriumReport {
   std::uint64_t old_cost = 0;
   std::uint64_t new_cost = 0;
   std::uint64_t strategies_checked = 0;
+  /// Deviations scored by the incremental oracle without a full BFS
+  /// recompute (0 on the naive path).
+  std::uint64_t bfs_avoided = 0;
 };
 
 /// Exact Nash check. Throws if some player's candidate space exceeds the
@@ -34,9 +41,14 @@ struct EquilibriumReport {
                                                    ThreadPool* pool = nullptr);
 
 /// Swap-stability check (single-head deviations only). Polynomial:
-/// O(Σ_u b_u · n) strategy evaluations.
+/// O(Σ_u b_u · n) strategy evaluations, each incremental when `incremental`.
+/// The reported deviator is always the smallest unstable player with its
+/// first improving swap in scan order, independent of `pool` width — but the
+/// parallel sweep may score more candidates than the sequential early exit,
+/// so `strategies_checked` is a work stat, not a deterministic count.
 [[nodiscard]] EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
-                                                        ThreadPool* pool = nullptr);
+                                                        ThreadPool* pool = nullptr,
+                                                        bool incremental = true);
 
 /// Lemma 2.2 sufficient condition: cMAX(u) == 1, or cMAX(u) ≤ 2 with u in no
 /// brace ⇒ u is playing a best response in BOTH versions. Returns the number

@@ -15,6 +15,12 @@
 //
 // evaluate() is const and takes an external scratch object, so the exact
 // solver can score candidates from many threads concurrently.
+//
+// DeltaEvaluator is the incremental sibling: instead of one multi-source BFS
+// per candidate it maintains a DynamicBfs from a virtual super-source wired
+// to every seed (strategy heads ∪ in-neighbours), so a single-head swap is
+// two dynamic edge operations whose cost is proportional to the region of
+// the graph whose distance actually changes — not to the whole graph.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,7 @@
 #include "game/game.hpp"
 #include "graph/bfs.hpp"
 #include "graph/digraph.hpp"
+#include "graph/dynamic_bfs.hpp"
 #include "graph/ugraph.hpp"
 
 namespace bbng {
@@ -67,5 +74,131 @@ class StrategyEvaluator {
   std::vector<Vertex> current_strategy_;
   std::uint64_t current_cost_ = 0;
 };
+
+/// Incremental strategy evaluator for one player (single-head diffs).
+///
+/// The candidate's cost is read off a dynamic BFS tree rooted at a virtual
+/// super-source `vsrc = n` that owns one edge per distinct seed, so
+///
+///     dist_{G[u←S]}(u, v) = dist_aug(vsrc, v)   for every v ≠ u,
+///
+/// and swapping head h for head t is delete(vsrc,h) + insert(vsrc,t) on the
+/// DynamicBfs — no from-scratch BFS. Seeds are reference-counted because a
+/// head that is also an in-neighbour keeps its super-source edge when the
+/// head is dropped. Aggregates come from the oracle in O(1); the MAX
+/// version's (κ−1)n² term reuses the precomputed component ids exactly like
+/// StrategyEvaluator. Results agree bit-for-bit with
+/// StrategyEvaluator::evaluate (tests/test_delta_eval.cpp enforces this).
+///
+/// A DeltaEvaluator is stateful and single-threaded; parallel sweeps build
+/// one per worker (see verify_swap_equilibrium).
+class DeltaEvaluator {
+ public:
+  /// `rebuild_threshold` is forwarded to DynamicBfs (0 = auto).
+  DeltaEvaluator(const Digraph& g, Vertex player, CostVersion version,
+                 std::uint32_t rebuild_threshold = 0);
+
+  [[nodiscard]] Vertex player() const noexcept { return player_; }
+  [[nodiscard]] CostVersion version() const noexcept { return version_; }
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return n_; }
+
+  /// Cost of the player's current strategy in the original realization.
+  [[nodiscard]] std::uint64_t current_cost() const noexcept { return current_cost_; }
+
+  /// The player's strategy in the original realization (sorted heads).
+  [[nodiscard]] const std::vector<Vertex>& current_strategy() const noexcept {
+    return current_strategy_;
+  }
+
+  /// True iff v is a head of the evaluator's present head set.
+  [[nodiscard]] bool has_head(Vertex v) const {
+    BBNG_ASSERT(v < n_);
+    return is_head_[v] != 0;
+  }
+
+  /// Add head t (must not be present, ≠ player). O(region improved).
+  void add_head(Vertex t);
+
+  /// Remove head h (must be present). O(region invalidated), with the
+  /// oracle's full-recompute fallback past its touched-vertex threshold.
+  void remove_head(Vertex h);
+
+  /// Cost of the present head set. O(1) for SUM; O(#seeds) for MAX.
+  [[nodiscard]] std::uint64_t cost();
+
+  /// Cost of heads ∪ {t} WITHOUT committing: the insert runs as a journaled
+  /// oracle trial and is rolled back before returning, so a probe costs one
+  /// relaxation wave + O(touched) undo — never a deletion repair. This is
+  /// the hot query of every swap scan (drop a head once, probe all targets).
+  [[nodiscard]] std::uint64_t cost_with_head(Vertex t);
+
+  /// Cost of (heads \ {removed}) ∪ {added}; the head set is restored before
+  /// returning, so this is a pure query (4 dynamic edge operations).
+  [[nodiscard]] std::uint64_t evaluate_swap(Vertex removed, Vertex added);
+
+  // ---- instrumentation ----
+  /// cost() queries answered since construction.
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+  /// Queries that were served incrementally, i.e. without any full BFS
+  /// recompute inside the oracle (evaluations − fallback rebuilds).
+  [[nodiscard]] std::uint64_t bfs_avoided() const noexcept {
+    const std::uint64_t rebuilt = bfs_.full_rebuilds();
+    return evaluations_ > rebuilt ? evaluations_ - rebuilt : 0;
+  }
+  /// The underlying dynamic distance oracle (read-only introspection).
+  [[nodiscard]] const DynamicBfs& oracle() const noexcept { return bfs_; }
+
+ private:
+  [[nodiscard]] static UGraph build_base(const Digraph& g, Vertex player);
+
+  Vertex player_;
+  CostVersion version_;
+  std::uint32_t n_;
+  Vertex vsrc_;                        ///< virtual super-source id (= n_)
+  DynamicBfs bfs_;                     ///< oracle over base_ + seed edges
+  std::vector<Vertex> in_neighbors_;   ///< players with an arc to `player`
+  std::vector<std::uint32_t> comp_;    ///< component ids of the seedless base
+  std::uint32_t base_components_ = 0;  ///< #components − player − vsrc slots
+  std::vector<std::uint8_t> is_head_;  ///< membership of the present head set
+  std::vector<std::uint32_t> seed_mult_;  ///< head + in-neighbour refcount
+  std::vector<Vertex> seed_list_;         ///< distinct current seeds
+  std::vector<std::uint32_t> seed_pos_;   ///< index into seed_list_
+  std::vector<std::uint32_t> comp_hit_;   ///< epoch-stamped component marks
+  std::uint32_t epoch_ = 0;
+  std::vector<Vertex> current_strategy_;
+  std::uint64_t current_cost_ = 0;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Result of one player's first-improving-swap scan (see below).
+struct SwapScanResult {
+  bool found = false;
+  std::vector<Vertex> strategy;   ///< the improving strategy when found
+  std::uint64_t old_cost = 0;     ///< cost of the incumbent strategy
+  std::uint64_t new_cost = 0;     ///< cost of `strategy` (< old_cost)
+  std::uint64_t checked = 0;      ///< candidate swaps scored before returning
+  std::uint64_t bfs_avoided = 0;  ///< of those, served without a full BFS
+};
+
+/// True when swap-scanning `player` degrades the delta oracle to a full BFS
+/// per probe: with no in-arcs and at most one head, every scan position
+/// leaves an empty seed set, so each probe re-settles the player's whole
+/// component from scratch and the naive evaluator's tighter loop wins
+/// (measured: bench_delta_eval's cycle-with-trees leaves). Consumers use
+/// this to pick the evaluator per player; both produce bit-identical costs,
+/// so the choice never changes results.
+[[nodiscard]] bool delta_scan_degenerate(const Digraph& g, Vertex player);
+
+/// First improving single-head swap of `player`'s incumbent strategy, or
+/// found == false at a swap-local optimum. Scans head positions in (sorted)
+/// strategy order and targets in vertex order with an early exit — the ONE
+/// deterministic scan order shared by the dynamics engine's
+/// FirstImprovingSwap policy and verify_swap_equilibrium, so their
+/// naive/incremental and sequential/parallel agreement guarantees hinge on
+/// every consumer routing through this helper rather than hand-copying the
+/// loop. Runs on the delta oracle, except for delta_scan_degenerate players,
+/// which take the (identical-result) naive evaluator.
+[[nodiscard]] SwapScanResult scan_first_improving_swap(const Digraph& g, Vertex player,
+                                                       CostVersion version);
 
 }  // namespace bbng

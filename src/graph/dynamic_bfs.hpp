@@ -1,0 +1,155 @@
+// Dynamic single-source BFS: exact distances under edge insert/delete.
+//
+// DynamicBfs owns a mutable copy of an undirected graph and keeps the exact
+// BFS distance (and a shortest-path tree) from a fixed source current across
+// single-edge insertions and deletions, in the spirit of the dynamic-SSSP
+// literature (Even–Shiloach trees; see Forster–Nanongkai 2018 and
+// Kyng–Meierhans–Probst Gutenberg 2021 in PAPERS.md):
+//
+//   * insert(u,v) — if the new edge shortens anything, a relaxation wave
+//     propagates the decreased labels outward; work is proportional to the
+//     region whose distance actually drops.
+//   * delete(u,v) — non-tree edges are free. Deleting the tree edge above v
+//     invalidates exactly v's subtree; the subtree is collected, its vertices
+//     are re-settled in increasing candidate-distance order with a bucket
+//     queue seeded from the intact frontier (distances only grow on
+//     deletion), and anything left unsettled becomes unreachable.
+//
+// When a deletion touches more than `rebuild_threshold` vertices the repair
+// is abandoned for one full BFS recompute, bounding the worst case at the
+// static cost while keeping the common case proportional to the touched
+// region. Aggregates (reached count, sum of distances, max distance via
+// per-level counts) are maintained incrementally so callers can read
+// SUM/MAX-style objectives in O(1) without rescanning the distance array —
+// that is what makes DeltaEvaluator (game/strategy_eval.hpp) cheap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/ugraph.hpp"
+
+namespace bbng {
+
+class DynamicBfs {
+ public:
+  /// Takes ownership of `g`. `rebuild_threshold` = touched-vertex count above
+  /// which a deletion repair falls back to one full BFS; 0 picks a default of
+  /// max(32, n/4). Pass n (or more) to never fall back, 1 to always fall back
+  /// (both useful in differential tests). `track_max` maintains per-level
+  /// counts so max_dist() is available; pass false to shave two array writes
+  /// off every label change when only reached()/sum_dist() are consumed.
+  explicit DynamicBfs(UGraph g, Vertex source, std::uint32_t rebuild_threshold = 0,
+                      bool track_max = true);
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] Vertex source() const noexcept { return source_; }
+  [[nodiscard]] const UGraph& graph() const noexcept { return g_; }
+  [[nodiscard]] std::uint32_t rebuild_threshold() const noexcept { return rebuild_threshold_; }
+
+  /// Insert the (absent) edge {u,v} and repair distances.
+  void insert_edge(Vertex u, Vertex v);
+
+  /// Delete the (present) edge {u,v} and repair distances.
+  void delete_edge(Vertex u, Vertex v);
+
+  /// Begin a journaled trial: subsequent insert_edge calls record undo
+  /// information (old labels, inserted edges) so rollback_trial() can revert
+  /// them in O(touched region) — the cheap way to *probe* a candidate edge
+  /// without paying a deletion repair to undo it. Trials are insert-only
+  /// (deletes would need parent maintenance, which probes skip) and do not
+  /// nest; parent() is unspecified while a trial is open.
+  void begin_trial();
+
+  /// Revert every operation since begin_trial (labels, parents, edges, and
+  /// all aggregates) and leave trial mode.
+  void rollback_trial();
+
+  [[nodiscard]] bool in_trial() const noexcept { return trial_active_; }
+
+  /// Exact distance from the source (kUnreachable across components).
+  [[nodiscard]] std::uint32_t dist(Vertex v) const {
+    BBNG_ASSERT(v < n_);
+    return dist_[v];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> dist() const noexcept {
+    return {dist_.data(), dist_.size()};
+  }
+
+  /// BFS-tree parent of v (kUnreachable for the source and unreached).
+  [[nodiscard]] Vertex parent(Vertex v) const {
+    BBNG_ASSERT(v < n_);
+    return parent_[v];
+  }
+
+  /// Vertices with finite distance, including the source.
+  [[nodiscard]] std::uint32_t reached() const noexcept { return reached_; }
+
+  /// Sum of finite distances (the source contributes 0).
+  [[nodiscard]] std::uint64_t sum_dist() const noexcept { return sum_dist_; }
+
+  /// Max finite distance (0 when only the source is reached). Requires
+  /// construction with track_max = true.
+  [[nodiscard]] std::uint32_t max_dist() const;
+
+  // ---- instrumentation (per-instance, monotone) ----
+  /// Edge operations applied so far.
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+  /// Deletions that fell back to a full BFS recompute.
+  [[nodiscard]] std::uint64_t full_rebuilds() const noexcept { return full_rebuilds_; }
+  /// Vertices whose label was inspected or changed by incremental repairs.
+  [[nodiscard]] std::uint64_t touched() const noexcept { return touched_; }
+
+ private:
+  void rebuild();
+  void apply_label(Vertex v, std::uint32_t new_dist);
+
+  /// Journal v's label before a change (no-op outside a trial).
+  void journal_label(Vertex v) {
+    if (trial_active_) trial_labels_.push_back({v, dist_[v]});
+  }
+
+  std::uint32_t n_;
+  Vertex source_;
+  std::uint32_t rebuild_threshold_;
+  bool track_max_;
+  UGraph g_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<Vertex> parent_;
+
+  // Aggregates.
+  std::uint32_t reached_ = 0;
+  std::uint64_t sum_dist_ = 0;
+  std::vector<std::uint32_t> level_count_;   ///< #vertices per finite distance
+  mutable std::uint32_t max_level_ = 0;      ///< cached upper bound on max_dist
+
+  // Scratch reused across operations.
+  std::vector<Vertex> wave_;                 ///< insert relaxation / subtree stack
+  std::vector<Vertex> affected_;             ///< deletion: invalidated subtree
+  std::vector<std::uint32_t> affected_mark_; ///< epoch stamps
+  std::uint32_t epoch_ = 0;
+  std::vector<std::vector<Vertex>> buckets_; ///< deletion repair bucket queue
+  std::vector<std::uint32_t> used_levels_;   ///< non-empty buckets to clear
+
+  // Trial journal (insert-only probes; parents are left stale and scalar
+  // aggregates restore from the begin_trial snapshot).
+  struct TrialLabel {
+    Vertex v;
+    std::uint32_t dist;
+  };
+  bool trial_active_ = false;
+  std::vector<TrialLabel> trial_labels_;
+  std::vector<std::pair<Vertex, Vertex>> trial_edges_;
+  std::uint64_t trial_sum_ = 0;
+  std::uint32_t trial_reached_ = 0;
+  std::uint32_t trial_max_level_ = 0;
+
+  // Stats.
+  std::uint64_t ops_ = 0;
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t touched_ = 0;
+};
+
+}  // namespace bbng

@@ -1,0 +1,252 @@
+// Differential tests for the incremental delta evaluator: on seeded random
+// digraphs (mixed budget vectors, both cost versions) DeltaEvaluator must
+// agree bit-for-bit with the naive per-candidate multi-source BFS of
+// StrategyEvaluator — for every single-head swap of every player, for random
+// head-set walks, and end-to-end through BestResponseSolver, the dynamics
+// engine, and verify_swap_equilibrium with the oracle on vs off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "game/best_response.hpp"
+#include "game/cost.hpp"
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "game/strategy_eval.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+namespace {
+
+/// Random instance in the mixed-budget regime: n in [5, 14], σ in [n/2, 2n].
+Digraph random_instance(std::uint32_t n, Rng& rng) {
+  const std::uint64_t sigma = n / 2 + rng.next_below(3 * n / 2 + 1);
+  return random_profile(random_budgets(n, sigma, rng), rng);
+}
+
+TEST(DeltaEvalDifferential, EverySingleHeadSwapMatchesNaiveOn200Graphs) {
+  Rng rng(9001);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(round % 10);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      for (Vertex u = 0; u < n; ++u) {
+        const StrategyEvaluator naive(g, u, version);
+        StrategyEvaluator::Scratch scratch(n);
+        DeltaEvaluator delta(g, u, version);
+        ASSERT_EQ(delta.current_cost(), naive.current_cost())
+            << "round " << round << " u " << u << " " << to_string(version);
+        ASSERT_EQ(delta.current_cost(), vertex_cost(g, u, version));
+
+        const std::vector<Vertex> strategy = naive.current_strategy();
+        std::vector<bool> used(n, false);
+        for (const Vertex h : strategy) used[h] = true;
+        used[u] = true;
+        std::vector<Vertex> trial;
+        for (std::size_t i = 0; i < strategy.size(); ++i) {
+          for (Vertex t = 0; t < n; ++t) {
+            if (used[t]) continue;
+            trial = strategy;
+            trial[i] = t;
+            ASSERT_EQ(delta.evaluate_swap(strategy[i], t), naive.evaluate(trial, scratch))
+                << "round " << round << " u " << u << " swap " << strategy[i] << "->" << t
+                << " " << to_string(version);
+          }
+        }
+        // The query restored the incumbent head set.
+        ASSERT_EQ(delta.cost(), naive.current_cost());
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalDifferential, RandomHeadSetWalkMatchesNaive) {
+  // Drive the evaluator far away from the incumbent strategy (including the
+  // empty set and heads that double as in-neighbours) and cross-check every
+  // intermediate state against a from-scratch evaluation.
+  Rng rng(9002);
+  for (int round = 0; round < 25; ++round) {
+    const std::uint32_t n = 6 + static_cast<std::uint32_t>(round % 8);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const Vertex u = static_cast<Vertex>(rng.next_below(n));
+      const StrategyEvaluator naive(g, u, version);
+      StrategyEvaluator::Scratch scratch(n);
+      DeltaEvaluator delta(g, u, version);
+      std::vector<Vertex> heads = naive.current_strategy();
+      for (int step = 0; step < 120; ++step) {
+        const auto t = static_cast<Vertex>(rng.next_below(n));
+        const auto it = std::find(heads.begin(), heads.end(), t);
+        if (it != heads.end()) {
+          delta.remove_head(t);
+          heads.erase(it);
+        } else if (t != u) {
+          delta.add_head(t);
+          heads.push_back(t);
+        } else {
+          continue;
+        }
+        ASSERT_EQ(delta.cost(), naive.evaluate(heads, scratch))
+            << "round " << round << " step " << step << " " << to_string(version);
+        // Probe a non-head target; the journaled trial must match the naive
+        // extension cost and roll back without disturbing the current state.
+        const auto probe = static_cast<Vertex>(rng.next_below(n));
+        if (probe != u && std::find(heads.begin(), heads.end(), probe) == heads.end()) {
+          heads.push_back(probe);
+          ASSERT_EQ(delta.cost_with_head(probe), naive.evaluate(heads, scratch));
+          heads.pop_back();
+          ASSERT_EQ(delta.cost(), naive.evaluate(heads, scratch));
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalDifferential, TinyRebuildThresholdStillMatchesNaive) {
+  // Threshold 1 forces the oracle's full-recompute fallback on essentially
+  // every head removal — results must not change, only the work profile.
+  Rng rng(9003);
+  std::uint64_t total_rebuilds = 0;
+  for (int round = 0; round < 15; ++round) {
+    const std::uint32_t n = 6 + static_cast<std::uint32_t>(round % 6);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      for (Vertex u = 0; u < n; ++u) {
+        if (g.out_degree(u) == 0) continue;
+        const StrategyEvaluator naive(g, u, version);
+        StrategyEvaluator::Scratch scratch(n);
+        DeltaEvaluator delta(g, u, version, /*rebuild_threshold=*/1);
+        const std::vector<Vertex> strategy = naive.current_strategy();
+        std::vector<Vertex> trial;
+        for (Vertex t = 0; t < n; ++t) {
+          if (t == u || std::find(strategy.begin(), strategy.end(), t) != strategy.end()) {
+            continue;
+          }
+          trial = strategy;
+          trial[0] = t;
+          ASSERT_EQ(delta.evaluate_swap(strategy[0], t), naive.evaluate(trial, scratch));
+        }
+        total_rebuilds += delta.oracle().full_rebuilds();
+      }
+    }
+  }
+  EXPECT_GT(total_rebuilds, 0U) << "threshold 1 never exercised the fallback";
+}
+
+TEST(DeltaEvalDifferential, SwapSolverIdenticalWithEvaluatorOnAndOff) {
+  Rng rng(9004);
+  std::uint64_t total_avoided = 0;
+  for (int round = 0; round < 40; ++round) {
+    const std::uint32_t n = 6 + static_cast<std::uint32_t>(round % 8);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const BestResponseSolver incremental(version, 2'000'000, true);
+      const BestResponseSolver naive(version, 2'000'000, false);
+      for (Vertex u = 0; u < n; ++u) {
+        const BestResponse a = incremental.swap_improve(g, u);
+        const BestResponse b = naive.swap_improve(g, u);
+        ASSERT_EQ(a.cost, b.cost) << "round " << round << " u " << u;
+        ASSERT_EQ(a.strategy, b.strategy);
+        ASSERT_EQ(a.current_cost, b.current_cost);
+        ASSERT_EQ(a.evaluated, b.evaluated);  // identical scan, move for move
+        EXPECT_EQ(b.bfs_avoided, 0U);
+        total_avoided += a.bfs_avoided;  // degenerate players legitimately 0
+
+        // evaluated − bfs_avoided must stay a valid (non-negative) count of
+        // full-BFS-equivalent evaluations, including for zero-budget players.
+        ASSERT_LE(a.bfs_avoided, a.evaluated);
+
+        const BestResponse ga = incremental.greedy(g, u);
+        const BestResponse gb = naive.greedy(g, u);
+        ASSERT_EQ(ga.cost, gb.cost);
+        ASSERT_EQ(ga.strategy, gb.strategy);
+        ASSERT_EQ(ga.evaluated, gb.evaluated);
+        ASSERT_LE(ga.bfs_avoided, ga.evaluated);
+      }
+    }
+  }
+  // The oracle must actually skip recomputation somewhere, not just agree.
+  EXPECT_GT(total_avoided, 0U);
+}
+
+TEST(DeltaEvalDifferential, SolveIdenticalWithEvaluatorOnAndOff) {
+  Rng rng(9005);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t n = 7 + static_cast<std::uint32_t>(round % 6);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      // exact_limit 1 forces the heuristic (greedy + swap) ladder rung where
+      // the evaluator choice matters; the exact rung shares one code path.
+      const BestResponseSolver incremental(version, /*exact_limit=*/1, true);
+      const BestResponseSolver naive(version, /*exact_limit=*/1, false);
+      for (Vertex u = 0; u < n; ++u) {
+        const BestResponse a = incremental.solve(g, u);
+        const BestResponse b = naive.solve(g, u);
+        ASSERT_EQ(a.cost, b.cost) << "round " << round << " u " << u;
+        ASSERT_EQ(a.strategy, b.strategy);
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalDifferential, SwapEquilibriumVerdictIdenticalOnAndOff) {
+  Rng rng(9006);
+  ThreadPool wide(4);
+  for (int round = 0; round < 30; ++round) {
+    const std::uint32_t n = 6 + static_cast<std::uint32_t>(round % 8);
+    const Digraph g = random_instance(n, rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      const auto naive = verify_swap_equilibrium(g, version, nullptr, /*incremental=*/false);
+      const auto seq = verify_swap_equilibrium(g, version, nullptr);
+      const auto par = verify_swap_equilibrium(g, version, &wide);
+      ASSERT_EQ(seq.stable, naive.stable) << "round " << round;
+      ASSERT_EQ(par.stable, naive.stable);
+      ASSERT_EQ(seq.strategies_checked, naive.strategies_checked);
+      if (!naive.stable) {
+        ASSERT_EQ(seq.deviator, naive.deviator);
+        ASSERT_EQ(par.deviator, naive.deviator);
+        ASSERT_EQ(seq.improving_strategy, naive.improving_strategy);
+        ASSERT_EQ(par.improving_strategy, naive.improving_strategy);
+        ASSERT_EQ(seq.old_cost, naive.old_cost);
+        ASSERT_EQ(seq.new_cost, naive.new_cost);
+        ASSERT_EQ(par.new_cost, naive.new_cost);
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalDifferential, DynamicsRunsIdenticalWithEvaluatorOnAndOff) {
+  Rng rng(9007);
+  std::uint64_t total_avoided = 0;
+  for (const MovePolicy policy : {MovePolicy::FirstImprovingSwap, MovePolicy::BestResponse}) {
+    for (int round = 0; round < 8; ++round) {
+      const std::uint32_t n = 6 + static_cast<std::uint32_t>(round % 5);
+      const Digraph g = random_instance(n, rng);
+      DynamicsConfig config;
+      config.policy = policy;
+      config.max_rounds = 40;
+      config.exact_limit = 1;  // keep the BestResponse policy on the heuristic rung
+      for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+        config.version = version;
+        config.incremental = true;
+        const DynamicsResult a = run_best_response_dynamics(g, config);
+        config.incremental = false;
+        const DynamicsResult b = run_best_response_dynamics(g, config);
+        ASSERT_EQ(a.graph.hash(), b.graph.hash()) << "round " << round;
+        ASSERT_TRUE(a.graph == b.graph);
+        ASSERT_EQ(a.moves, b.moves);
+        ASSERT_EQ(a.rounds, b.rounds);
+        ASSERT_EQ(a.converged, b.converged);
+        ASSERT_EQ(a.evaluations, b.evaluations);
+        EXPECT_EQ(b.bfs_avoided, 0U);
+        total_avoided += a.bfs_avoided;  // degenerate players legitimately 0
+      }
+    }
+  }
+  EXPECT_GT(total_avoided, 0U);
+}
+
+}  // namespace
+}  // namespace bbng
