@@ -7,13 +7,23 @@
 // sightings across versions, schedules, densities, and sizes; plus a
 // trajectory view (social cost per round) showing how fast selfish play
 // repairs a bad start.
+//
+// The census sweep runs through the scenario engine (src/engine/): the grid
+// is declared as a CampaignSpec, expanded to jobs, and each cell aggregated
+// from the task adapter's JSONL records — the same path `bbng_engine run`
+// takes, minus the file sink.
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/jobgraph.hpp"
+#include "engine/spec.hpp"
+#include "engine/tasks.hpp"
 #include "game/dynamics.hpp"
 #include "game/improvement_graph.hpp"
 #include "graph/generators.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace bbng {
@@ -28,46 +38,69 @@ int run(int argc, const char** argv) {
   bench::apply_common_flags(flags);
   bench::Checker check;
 
-  bench::banner("Convergence census — version × schedule × density");
+  bench::banner("Convergence census — version × schedule × density (scenario engine)");
   Table table({"version", "schedule", "sigma/n", "n", "converged", "cycles",
                "rounds(mean)", "moves(mean)"});
-  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
-    for (const auto& [schedule, name] :
-         {std::pair{Schedule::RoundRobin, "round-robin"},
-          std::pair{Schedule::RandomPermutation, "random-perm"}}) {
-      for (const double density : {1.0, 2.0}) {
-        const std::uint32_t n = 24;
-        Rng rng(static_cast<std::uint64_t>(*flags.seed));
-        std::uint32_t converged = 0, cycles = 0;
-        std::vector<double> rounds, moves;
-        for (std::int64_t inst = 0; inst < *instances; ++inst) {
-          const auto budgets =
-              random_budgets(n, static_cast<std::uint64_t>(density * n), rng);
-          DynamicsConfig config;
-          config.version = version;
-          config.schedule = schedule;
-          config.max_rounds = 400;
-          config.exact_limit = 30'000;
-          config.seed = static_cast<std::uint64_t>(*flags.seed + inst);
-          const DynamicsResult result =
-              run_best_response_dynamics(random_profile(budgets, rng), config);
-          cycles += result.cycle_detected;
-          if (result.converged) {
-            ++converged;
-            rounds.push_back(static_cast<double>(result.rounds));
-            moves.push_back(static_cast<double>(result.moves));
-          }
+  {
+    // Declare the sweep: one scenario per census cell.
+    const std::uint32_t n = 24;
+    CampaignSpec campaign;
+    campaign.name = "convergence_census";
+    campaign.base_seed = static_cast<std::uint64_t>(*flags.seed);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      for (const auto& [schedule, name] :
+           {std::pair{Schedule::RoundRobin, "round-robin"},
+            std::pair{Schedule::RandomPermutation, "random-perm"}}) {
+        for (const double density : {1.0, 2.0}) {
+          ScenarioSpec scenario;
+          scenario.name = cat(to_string(version), "/", name, "/", density);
+          scenario.task = TaskKind::Dynamics;
+          scenario.version = version;
+          scenario.family = BudgetFamily::Random;
+          scenario.grid_n = {n};
+          scenario.grid_density = {density};
+          // max() so a negative --instances degrades to an empty sweep, not
+          // a 2^64-seed range.
+          scenario.seeds = {{0, static_cast<std::uint64_t>(std::max<std::int64_t>(
+                                    0, *instances))}};
+          scenario.params.max_rounds = 400;
+          scenario.params.exact_limit = 30'000;
+          scenario.params.schedule = schedule;
+          campaign.scenarios.push_back(scenario);
         }
-        table.new_row()
-            .add(to_string(version))
-            .add(name)
-            .add(density, 1)
-            .add(n)
-            .add(cat(converged, "/", *instances))
-            .add(cycles)
-            .add(rounds.empty() ? 0.0 : summarize(rounds).mean, 1)
-            .add(moves.empty() ? 0.0 : summarize(moves).mean, 1);
       }
+    }
+
+    // Execute the job list and aggregate each cell from its JSONL records.
+    struct Cell {
+      std::uint32_t converged = 0, cycles = 0;
+      std::vector<double> rounds, moves;
+    };
+    std::vector<Cell> cells(campaign.scenarios.size());
+    for (const Job& job : expand_jobs(campaign)) {
+      const JsonValue record = parse_json(run_job_line(campaign, job));
+      Cell& cell = cells[job.scenario_index];
+      cell.cycles += record.at("cycle_detected").as_bool() ? 1 : 0;
+      if (record.at("converged").as_bool()) {
+        ++cell.converged;
+        cell.rounds.push_back(record.at("rounds").as_double());
+        cell.moves.push_back(record.at("moves").as_double());
+      }
+    }
+
+    for (std::size_t index = 0; index < campaign.scenarios.size(); ++index) {
+      const ScenarioSpec& scenario = campaign.scenarios[index];
+      const Cell& cell = cells[index];
+      table.new_row()
+          .add(to_string(scenario.version))
+          .add(scenario.params.schedule == Schedule::RoundRobin ? "round-robin"
+                                                                : "random-perm")
+          .add(scenario.grid_density.front(), 1)
+          .add(scenario.grid_n.front())
+          .add(cat(cell.converged, "/", *instances))
+          .add(cell.cycles)
+          .add(cell.rounds.empty() ? 0.0 : summarize(cell.rounds).mean, 1)
+          .add(cell.moves.empty() ? 0.0 : summarize(cell.moves).mean, 1);
     }
   }
   table.print(std::cout, *flags.csv);

@@ -1,0 +1,40 @@
+#include "engine/hostinfo.hpp"
+
+#include <thread>
+
+namespace bbng {
+
+HostInfo host_info() {
+  HostInfo info;
+  info.host_threads = std::thread::hardware_concurrency();
+#if defined(__clang__)
+  info.compiler = std::string("Clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = std::string("GCC ") + __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(BBNG_BUILD_TYPE)
+  info.build_type = BBNG_BUILD_TYPE;
+#elif defined(NDEBUG)
+  info.build_type = "Release";
+#else
+  info.build_type = "Debug";
+#endif
+#if defined(BBNG_GIT_SHA)
+  info.git_sha = BBNG_GIT_SHA;
+#else
+  info.git_sha = "unknown";
+#endif
+  return info;
+}
+
+void write_host_info_fields(JsonWriter& writer) {
+  const HostInfo info = host_info();
+  writer.field("host_threads", info.host_threads)
+      .field("compiler", info.compiler)
+      .field("build_type", info.build_type)
+      .field("git_sha", info.git_sha);
+}
+
+}  // namespace bbng

@@ -1,0 +1,30 @@
+// Host/build metadata stamped into every engine artifact.
+//
+// A JSONL campaign file or BENCH_*.json produced on a single-core CI
+// runner must not be misread as a calibrated speedup measurement, so each
+// artifact header records where it was produced: hardware thread count,
+// compiler, build type, and the git SHA when the build system could see
+// one. Everything here is a property of the host/build — never of the
+// runner configuration — so the header stays byte-identical across runs
+// at different thread counts (a requirement of checkpoint/resume).
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace bbng {
+
+struct HostInfo {
+  unsigned host_threads = 0;  ///< std::thread::hardware_concurrency()
+  std::string compiler;       ///< e.g. "GCC 12.2.0"
+  std::string build_type;     ///< CMake build type, or NDEBUG-derived fallback
+  std::string git_sha;        ///< short SHA at configure time; "unknown" otherwise
+};
+
+[[nodiscard]] HostInfo host_info();
+
+/// Write the fields of host_info() into the currently open JSON object.
+void write_host_info_fields(JsonWriter& writer);
+
+}  // namespace bbng

@@ -1,0 +1,48 @@
+#include "engine/jobgraph.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace bbng {
+
+std::uint64_t job_rng_seed(std::uint64_t base_seed, const std::string& scenario_name,
+                           std::uint32_t n, double density, std::uint64_t seed) {
+  std::uint64_t state = base_seed;
+  std::uint64_t out = splitmix64(state);
+  const std::uint64_t tokens[] = {fnv1a64(scenario_name), n,
+                                  std::bit_cast<std::uint64_t>(density), seed};
+  for (const std::uint64_t token : tokens) {
+    state ^= token;
+    out ^= splitmix64(state);
+  }
+  return out;
+}
+
+std::vector<Job> expand_jobs(const CampaignSpec& campaign) {
+  std::vector<Job> jobs;
+  jobs.reserve(campaign.num_jobs());
+  for (std::uint32_t s = 0; s < campaign.scenarios.size(); ++s) {
+    const ScenarioSpec& scenario = campaign.scenarios[s];
+    for (const std::uint32_t n : scenario.grid_n) {
+      for (const double density : scenario.grid_density) {
+        for (const SeedRange& range : scenario.seeds) {
+          for (std::uint64_t seed = range.begin; seed < range.end; ++seed) {
+            Job job;
+            job.id = jobs.size();
+            job.scenario_index = s;
+            job.n = n;
+            job.density = density;
+            job.seed = seed;
+            job.rng_seed =
+                job_rng_seed(campaign.base_seed, scenario.name, n, density, seed);
+            jobs.push_back(job);
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace bbng

@@ -1,0 +1,38 @@
+// Campaign → deterministic job list.
+//
+// A job is one game instance: (scenario, n, density, seed). Expansion order
+// is fixed — scenario order, then grid.n, then grid.density, then seed-range
+// order, then seed — and the job id is the position in that order, which is
+// also the JSONL commit order. The per-job RNG seed is derived from the
+// job's *content* (campaign base_seed, scenario name, axis values), never
+// from thread ids, shard boundaries, or wall clock, so a campaign's output
+// is byte-identical at any thread count and across checkpoint/resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/spec.hpp"
+
+namespace bbng {
+
+struct Job {
+  std::uint64_t id = 0;             ///< position in expansion order
+  std::uint32_t scenario_index = 0; ///< into CampaignSpec::scenarios
+  std::uint32_t n = 0;              ///< instance size
+  double density = 1.0;             ///< σ/n axis (1.0 when the axis is unused)
+  std::uint64_t seed = 0;           ///< instance seed from the spec
+  std::uint64_t rng_seed = 0;       ///< content-derived stream seed
+};
+
+/// Stable per-job stream seed; see the file comment for the determinism
+/// contract. Exposed so tests can pin the derivation.
+[[nodiscard]] std::uint64_t job_rng_seed(std::uint64_t base_seed,
+                                         const std::string& scenario_name, std::uint32_t n,
+                                         double density, std::uint64_t seed);
+
+/// Expand every scenario's grid × seed ranges, ids 0 … num_jobs()-1.
+[[nodiscard]] std::vector<Job> expand_jobs(const CampaignSpec& campaign);
+
+}  // namespace bbng

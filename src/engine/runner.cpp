@@ -1,0 +1,218 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "engine/jobgraph.hpp"
+#include "engine/sinks.hpp"
+#include "engine/tasks.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace bbng {
+
+std::string manifest_path_for(const std::string& output_path) {
+  return output_path + ".ckpt.json";
+}
+
+std::string summary_path_for(const std::string& output_path) {
+  return output_path + ".summary.json";
+}
+
+namespace {
+
+[[noreturn]] void runner_error(const std::string& what) {
+  throw std::invalid_argument("runner: " + what);
+}
+
+struct Manifest {
+  std::string spec_fingerprint;
+  std::uint64_t total_jobs = 0;
+  std::uint64_t committed_jobs = 0;
+  std::uint64_t byte_offset = 0;
+  bool completed = false;
+};
+
+/// Manifest writes are atomic (tmp + rename) so a kill mid-checkpoint
+/// leaves the previous manifest intact rather than a torn file.
+void write_manifest(const std::string& path, const Manifest& manifest) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) runner_error("cannot write " + tmp);
+    JsonWriter writer(out, /*pretty=*/true);
+    writer.begin_object()
+        .field("spec_fingerprint", manifest.spec_fingerprint)
+        .field("total_jobs", manifest.total_jobs)
+        .field("committed_jobs", manifest.committed_jobs)
+        .field("byte_offset", manifest.byte_offset)
+        .field("completed", manifest.completed)
+        .end_object();
+    out << '\n';
+    if (!out.flush()) runner_error("failed flushing " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) runner_error("cannot open checkpoint manifest " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = parse_json(buffer.str());
+  Manifest manifest;
+  manifest.spec_fingerprint = root.at("spec_fingerprint").as_string();
+  manifest.total_jobs = root.at("total_jobs").as_uint();
+  manifest.committed_jobs = root.at("committed_jobs").as_uint();
+  manifest.byte_offset = root.at("byte_offset").as_uint();
+  manifest.completed = root.at("completed").as_bool();
+  return manifest;
+}
+
+/// Execute jobs [committed, total) in ordered-commit windows. `offset` is
+/// the byte length of the already-committed prefix (header included).
+RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
+                const RunnerConfig& config, std::uint64_t committed, std::uint64_t offset) {
+  const Timer timer;
+  const std::vector<Job> jobs = expand_jobs(campaign);
+  RunReport report;
+  report.total_jobs = jobs.size();
+  report.committed_before = committed;
+  report.committed = committed;
+
+  ThreadPool pool(config.threads);
+  const std::uint64_t window =
+      config.window > 0 ? config.window
+                        : std::max<std::uint64_t>(64, std::uint64_t{4} * pool.width());
+  const std::uint64_t cadence = std::max<std::uint64_t>(1, config.checkpoint_every);
+
+  std::ofstream out(config.output_path, std::ios::binary | std::ios::app);
+  if (!out) runner_error("cannot append to " + config.output_path);
+
+  const std::string manifest_path = manifest_path_for(config.output_path);
+  const auto checkpoint = [&](bool completed) {
+    if (out.is_open() && !out.flush()) {
+      runner_error("failed flushing " + config.output_path);
+    }
+    write_manifest(manifest_path,
+                   Manifest{fingerprint, report.total_jobs, report.committed, offset, completed});
+    ++report.checkpoints;
+  };
+
+  bool halted = false;
+  while (report.committed < report.total_jobs && !halted) {
+    const std::uint64_t begin = report.committed;
+    // min() before the addition so a huge window cannot overflow begin+window.
+    const std::uint64_t end = begin + std::min(window, report.total_jobs - begin);
+    std::vector<std::string> lines(end - begin);
+    pool.run_chunked(end - begin, 1, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        lines[i] = run_job_line(campaign, jobs[begin + i]);
+      }
+    });
+    report.executed += end - begin;
+    for (const std::string& line : lines) {
+      out << line << '\n';
+      if (!out) runner_error("failed writing " + config.output_path);
+      offset += line.size() + 1;
+      ++report.committed;
+      if (report.committed % cadence == 0 && report.committed < report.total_jobs) {
+        checkpoint(false);
+      }
+      if (config.halt_after > 0 && report.committed >= config.halt_after) {
+        halted = true;
+        break;
+      }
+    }
+  }
+
+  if (!halted) {
+    // The summary must land before the completed=true manifest: a kill in
+    // between leaves an incomplete manifest, and resume redoes the tail +
+    // summary. The reverse order would enshrine a torn summary as "done".
+    if (config.write_summary) {
+      if (!out.flush()) runner_error("failed flushing " + config.output_path);
+      out.close();
+      write_summary_file(config.output_path, summary_path_for(config.output_path));
+    }
+    checkpoint(true);
+    report.completed = true;
+  } else if (!out.flush()) {
+    runner_error("failed flushing " + config.output_path);
+  }
+  report.seconds = timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace
+
+RunReport run_campaign(const CampaignSpec& campaign, const std::string& spec_text,
+                       const RunnerConfig& config) {
+  BBNG_REQUIRE_MSG(!config.output_path.empty(), "runner needs an output path");
+  if (!config.overwrite && std::filesystem::exists(config.output_path)) {
+    runner_error(config.output_path +
+                 " already exists; resume it, move it aside, or pass overwrite");
+  }
+  const std::string fingerprint = spec_fingerprint(spec_text);
+  const std::string header =
+      make_jsonl_header(campaign.name, fingerprint, campaign.base_seed, campaign.num_jobs());
+  std::uint64_t offset = 0;
+  {
+    std::ofstream out(config.output_path, std::ios::binary | std::ios::trunc);
+    if (!out) runner_error("cannot write " + config.output_path);
+    out << header << '\n';
+    if (!out.flush()) runner_error("failed writing " + config.output_path);
+    offset = header.size() + 1;
+  }
+  // Initial manifest: a kill before the first cadence checkpoint must still
+  // leave the run resumable (resume truncates back to the bare header).
+  write_manifest(manifest_path_for(config.output_path),
+                 Manifest{fingerprint, campaign.num_jobs(), 0, offset, false});
+  RunReport report = drive(campaign, fingerprint, config, 0, offset);
+  ++report.checkpoints;  // count the initial manifest
+  return report;
+}
+
+RunReport resume_campaign(const CampaignSpec& campaign, const std::string& spec_text,
+                          const RunnerConfig& config) {
+  BBNG_REQUIRE_MSG(!config.output_path.empty(), "runner needs an output path");
+  const std::string fingerprint = spec_fingerprint(spec_text);
+  const std::string manifest_path = manifest_path_for(config.output_path);
+  if (!std::filesystem::exists(manifest_path)) {
+    runner_error("no checkpoint manifest at " + manifest_path + "; use run for a fresh start");
+  }
+  const Manifest manifest = read_manifest(manifest_path);
+  if (manifest.spec_fingerprint != fingerprint) {
+    runner_error("checkpoint was written by a different spec (manifest spec_fingerprint " +
+                 manifest.spec_fingerprint + ", this spec " + fingerprint + ")");
+  }
+  if (manifest.total_jobs != campaign.num_jobs()) {
+    runner_error("checkpoint job count disagrees with the spec");
+  }
+  if (manifest.completed) {
+    RunReport report;
+    report.total_jobs = manifest.total_jobs;
+    report.committed_before = manifest.committed_jobs;
+    report.committed = manifest.committed_jobs;
+    report.completed = true;
+    return report;
+  }
+  if (!std::filesystem::exists(config.output_path)) {
+    runner_error("checkpoint exists but " + config.output_path + " is missing");
+  }
+  const std::uint64_t size = std::filesystem::file_size(config.output_path);
+  if (size < manifest.byte_offset) {
+    runner_error(config.output_path + " is shorter than its checkpoint; artifact corrupt");
+  }
+  if (size > manifest.byte_offset) {
+    // Uncheckpointed tail from the kill: roll back to the journalled prefix.
+    std::filesystem::resize_file(config.output_path, manifest.byte_offset);
+  }
+  return drive(campaign, fingerprint, config, manifest.committed_jobs, manifest.byte_offset);
+}
+
+}  // namespace bbng

@@ -1,0 +1,206 @@
+#include "engine/sinks.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "engine/hostinfo.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace bbng {
+
+JsonlFile read_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("jsonl: cannot open " + path);
+  JsonlFile file;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue value = parse_json(line);
+    if (!saw_header) {
+      file.header = std::move(value);
+      saw_header = true;
+    } else {
+      file.records.push_back(std::move(value));
+    }
+  }
+  if (!saw_header) throw std::invalid_argument("jsonl: " + path + " has no header line");
+  return file;
+}
+
+std::string make_jsonl_header(const std::string& campaign_name, const std::string& spec_fingerprint,
+                              std::uint64_t base_seed, std::uint64_t total_jobs) {
+  std::ostringstream os;
+  JsonWriter writer(os, /*pretty=*/false);
+  writer.begin_object()
+      .field("format", "bbng-jsonl")
+      .field("format_version", 1)
+      .field("campaign", campaign_name)
+      .field("spec_fingerprint", spec_fingerprint)
+      .field("base_seed", base_seed)
+      .field("total_jobs", total_jobs);
+  writer.key("host").begin_object();
+  write_host_info_fields(writer);
+  writer.end_object().end_object();
+  BBNG_ASSERT(writer.complete());
+  return os.str();
+}
+
+namespace {
+
+/// Re-emit a parsed JsonValue (used to copy the header's host block into
+/// the summary verbatim).
+void emit_value(JsonWriter& writer, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::Null: writer.null(); break;
+    case JsonValue::Kind::Bool: writer.value(value.as_bool()); break;
+    case JsonValue::Kind::Int: writer.value(value.as_int()); break;
+    case JsonValue::Kind::Double: writer.value(value.as_double()); break;
+    case JsonValue::Kind::String: writer.value(value.as_string()); break;
+    case JsonValue::Kind::Array:
+      writer.begin_array();
+      for (const auto& item : value.items()) emit_value(writer, item);
+      writer.end_array();
+      break;
+    case JsonValue::Kind::Object:
+      writer.begin_object();
+      for (const auto& [key, member] : value.members()) {
+        writer.key(key);
+        emit_value(writer, member);
+      }
+      writer.end_object();
+      break;
+  }
+}
+
+/// First-appearance-ordered accumulators for one scenario's records.
+struct ScenarioAccumulator {
+  std::string name;
+  std::uint64_t jobs = 0;
+  std::vector<std::pair<std::string, std::vector<double>>> numbers;
+  std::vector<std::pair<std::string, std::uint64_t>> bool_true_counts;
+  // field → (value → count), both levels in first-appearance order.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
+      strings;
+
+  template <typename Entries, typename Value>
+  static auto& slot(Entries& entries, const std::string& key, const Value& fresh) {
+    for (auto& [name, payload] : entries) {
+      if (name == key) return payload;
+    }
+    entries.emplace_back(key, fresh);
+    return entries.back().second;
+  }
+
+  void add(const JsonValue& record) {
+    ++jobs;
+    for (const auto& [key, value] : record.members()) {
+      if (key == "job" || key == "seed" || key == "scenario" || key == "task" ||
+          key == "version") {
+        continue;
+      }
+      if (value.is_bool()) {
+        slot(bool_true_counts, key, std::uint64_t{0}) += value.as_bool() ? 1 : 0;
+      } else if (value.is_number()) {
+        slot(numbers, key, std::vector<double>{}).push_back(value.as_double());
+      } else if (value.is_string()) {
+        auto& counts =
+            slot(strings, key, std::vector<std::pair<std::string, std::uint64_t>>{});
+        slot(counts, value.as_string(), std::uint64_t{0}) += 1;
+      }
+      // Nulls (e.g. "deviator" of a stable state) carry no aggregate.
+    }
+  }
+};
+
+void emit_summary_stats(JsonWriter& writer, const Summary& summary) {
+  writer.begin_object()
+      .field("count", static_cast<std::uint64_t>(summary.count))
+      .field("mean", summary.mean)
+      .field("min", summary.min)
+      .field("max", summary.max)
+      .field("median", summary.median)
+      .field("stddev", summary.stddev)
+      .end_object();
+}
+
+}  // namespace
+
+void write_summary_file(const std::string& jsonl_path, const std::string& summary_path) {
+  // Stream the artifact line by line: a million-instance campaign must not
+  // materialise a million parsed records just to be averaged.
+  std::ifstream in(jsonl_path, std::ios::binary);
+  if (!in) throw std::invalid_argument("jsonl: cannot open " + jsonl_path);
+  JsonValue header;
+  bool saw_header = false;
+  std::uint64_t total_records = 0;
+  std::vector<ScenarioAccumulator> scenarios;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue value = parse_json(line);
+    if (!saw_header) {
+      header = std::move(value);
+      saw_header = true;
+      continue;
+    }
+    ++total_records;
+    const std::string& name = value.at("scenario").as_string();
+    ScenarioAccumulator* accumulator = nullptr;
+    for (auto& existing : scenarios) {
+      if (existing.name == name) {
+        accumulator = &existing;
+        break;
+      }
+    }
+    if (accumulator == nullptr) {
+      scenarios.emplace_back();
+      scenarios.back().name = name;
+      accumulator = &scenarios.back();
+    }
+    accumulator->add(value);
+  }
+  if (!saw_header) throw std::invalid_argument("jsonl: " + jsonl_path + " has no header line");
+
+  // tmp + rename so a kill mid-write never leaves a torn summary in place.
+  const std::string tmp_path = summary_path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::invalid_argument("summary: cannot open " + tmp_path);
+  JsonWriter writer(out, /*pretty=*/true);
+  writer.begin_object()
+      .field("campaign", header.at("campaign").as_string())
+      .field("spec_fingerprint", header.at("spec_fingerprint").as_string())
+      .field("jobs", total_records);
+  writer.key("host");
+  emit_value(writer, header.at("host"));
+  writer.key("scenarios").begin_array();
+  for (const ScenarioAccumulator& scenario : scenarios) {
+    writer.begin_object().field("name", scenario.name).field("jobs", scenario.jobs);
+    writer.key("numbers").begin_object();
+    for (const auto& [key, values] : scenario.numbers) {
+      writer.key(key);
+      emit_summary_stats(writer, summarize(values));
+    }
+    writer.end_object();
+    writer.key("bool_true_counts").begin_object();
+    for (const auto& [key, count] : scenario.bool_true_counts) writer.field(key, count);
+    writer.end_object();
+    writer.key("string_counts").begin_object();
+    for (const auto& [key, counts] : scenario.strings) {
+      writer.key(key).begin_object();
+      for (const auto& [value, count] : counts) writer.field(value, count);
+      writer.end_object();
+    }
+    writer.end_object().end_object();
+  }
+  writer.end_array().end_object();
+  BBNG_ASSERT(writer.complete());
+  out << '\n';
+  if (!out.flush()) throw std::invalid_argument("summary: failed flushing " + tmp_path);
+  out.close();
+  std::filesystem::rename(tmp_path, summary_path);
+}
+
+}  // namespace bbng

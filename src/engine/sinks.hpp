@@ -1,0 +1,40 @@
+// Artifact sinks: JSONL read-back and summary-statistics aggregation.
+//
+// The runner streams one compact JSON record per job into an append-only
+// `.jsonl` file whose first line is a header (campaign name, spec
+// fingerprint, host metadata). This module reads such files back via the
+// strict util/json parser — the engine eats its own dog food — and distils
+// them into a `.summary.json`: per scenario, a util/stats Summary of every
+// numeric field, true-counts of every boolean field, and value-counts of
+// every string field. The summary is recomputed from the committed JSONL at
+// campaign completion, so an interrupted-and-resumed run summarises exactly
+// what an uninterrupted one would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace bbng {
+
+struct JsonlFile {
+  JsonValue header;                ///< first line
+  std::vector<JsonValue> records;  ///< one per committed job, in commit order
+};
+
+/// Parse a JSONL artifact. Throws std::invalid_argument when the file is
+/// missing/empty and JsonParseError when a line is malformed.
+[[nodiscard]] JsonlFile read_jsonl(const std::string& path);
+
+/// Header line for a campaign artifact (compact JSON, no newline).
+[[nodiscard]] std::string make_jsonl_header(const std::string& campaign_name,
+                                            const std::string& spec_fingerprint,
+                                            std::uint64_t base_seed, std::uint64_t total_jobs);
+
+/// Aggregate `jsonl_path` into `summary_path` (pretty JSON). Scenario and
+/// field order follow first appearance in the records, so the summary is as
+/// deterministic as the JSONL itself.
+void write_summary_file(const std::string& jsonl_path, const std::string& summary_path);
+
+}  // namespace bbng

@@ -1,0 +1,393 @@
+#include "engine/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+std::string to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::Dynamics: return "dynamics";
+    case TaskKind::SwapEquilibrium: return "swap_equilibrium";
+    case TaskKind::Poa: return "poa";
+    case TaskKind::Audit: return "audit";
+  }
+  return "?";
+}
+
+std::string to_string(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::RandomProfile: return "random_profile";
+    case GeneratorKind::RandomTree: return "random_tree";
+    case GeneratorKind::Path: return "path";
+    case GeneratorKind::Cycle: return "cycle";
+    case GeneratorKind::Star: return "star";
+  }
+  return "?";
+}
+
+std::string to_string(BudgetFamily family) {
+  switch (family) {
+    case BudgetFamily::Tree: return "tree";
+    case BudgetFamily::Unit: return "unit";
+    case BudgetFamily::Uniform: return "uniform";
+    case BudgetFamily::Random: return "random";
+  }
+  return "?";
+}
+
+std::uint64_t ScenarioSpec::seed_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& range : seeds) total += range.count();
+  return total;
+}
+
+std::uint64_t ScenarioSpec::num_jobs() const noexcept {
+  return static_cast<std::uint64_t>(grid_n.size()) * grid_density.size() * seed_count();
+}
+
+std::uint64_t CampaignSpec::num_jobs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& scenario : scenarios) total += scenario.num_jobs();
+  return total;
+}
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& where, const std::string& what) {
+  throw std::invalid_argument("spec: " + where + ": " + what);
+}
+
+/// Every consumed key must be recorded; leftovers are schema violations.
+void reject_unknown_keys(const JsonValue& object, const std::vector<std::string>& known,
+                         const std::string& where) {
+  for (const auto& [key, value] : object.members()) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      spec_error(where, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+const JsonValue& require_key(const JsonValue& object, const std::string& key,
+                             const std::string& where) {
+  const JsonValue* found = object.find(key);
+  if (found == nullptr) spec_error(where, "missing required key \"" + key + "\"");
+  return *found;
+}
+
+TaskKind parse_task(const std::string& text, const std::string& where) {
+  if (text == "dynamics") return TaskKind::Dynamics;
+  if (text == "swap_equilibrium") return TaskKind::SwapEquilibrium;
+  if (text == "poa") return TaskKind::Poa;
+  if (text == "audit") return TaskKind::Audit;
+  spec_error(where, "unknown task \"" + text +
+                        "\" (expected dynamics|swap_equilibrium|poa|audit)");
+}
+
+CostVersion parse_version(const std::string& text, const std::string& where) {
+  if (text == "sum") return CostVersion::Sum;
+  if (text == "max") return CostVersion::Max;
+  spec_error(where, "unknown version \"" + text + "\" (expected sum|max)");
+}
+
+GeneratorKind parse_generator(const std::string& text, const std::string& where) {
+  if (text == "random_profile") return GeneratorKind::RandomProfile;
+  if (text == "random_tree") return GeneratorKind::RandomTree;
+  if (text == "path") return GeneratorKind::Path;
+  if (text == "cycle") return GeneratorKind::Cycle;
+  if (text == "star") return GeneratorKind::Star;
+  spec_error(where, "unknown generator \"" + text +
+                        "\" (expected random_profile|random_tree|path|cycle|star)");
+}
+
+BudgetFamily parse_family(const std::string& text, const std::string& where) {
+  if (text == "tree") return BudgetFamily::Tree;
+  if (text == "unit") return BudgetFamily::Unit;
+  if (text == "uniform") return BudgetFamily::Uniform;
+  if (text == "random") return BudgetFamily::Random;
+  spec_error(where, "unknown budget family \"" + text +
+                        "\" (expected tree|unit|uniform|random)");
+}
+
+Schedule parse_schedule(const std::string& text, const std::string& where) {
+  if (text == "round_robin") return Schedule::RoundRobin;
+  if (text == "random_permutation") return Schedule::RandomPermutation;
+  if (text == "uniform_random") return Schedule::UniformRandom;
+  spec_error(where, "unknown schedule \"" + text +
+                        "\" (expected round_robin|random_permutation|uniform_random)");
+}
+
+MovePolicy parse_policy(const std::string& text, const std::string& where) {
+  if (text == "best_response") return MovePolicy::BestResponse;
+  if (text == "first_improving_swap") return MovePolicy::FirstImprovingSwap;
+  spec_error(where, "unknown policy \"" + text +
+                        "\" (expected best_response|first_improving_swap)");
+}
+
+SeedRange parse_seed_range(const JsonValue& object, const std::string& where) {
+  if (!object.is_object()) spec_error(where, "a seed range must be an object");
+  reject_unknown_keys(object, {"begin", "end"}, where);
+  SeedRange range;
+  range.begin = require_key(object, "begin", where).as_uint();
+  range.end = require_key(object, "end", where).as_uint();
+  if (range.begin >= range.end) {
+    spec_error(where, "empty seed range [" + std::to_string(range.begin) + ", " +
+                          std::to_string(range.end) + ")");
+  }
+  return range;
+}
+
+/// Seeds: one range object or an array of them; ranges must be disjoint
+/// (overlap means the same instance would be run — and counted — twice).
+std::vector<SeedRange> parse_seeds(const JsonValue& value, const std::string& where) {
+  std::vector<SeedRange> ranges;
+  if (value.is_object()) {
+    ranges.push_back(parse_seed_range(value, where));
+  } else if (value.is_array()) {
+    if (value.items().empty()) spec_error(where, "seeds must contain at least one range");
+    for (const auto& item : value.items()) ranges.push_back(parse_seed_range(item, where));
+  } else {
+    spec_error(where, "seeds must be a range object or an array of ranges");
+  }
+  std::vector<SeedRange> sorted = ranges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SeedRange& a, const SeedRange& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].begin < sorted[i - 1].end) {
+      spec_error(where, "seed ranges overlap: [" + std::to_string(sorted[i - 1].begin) + ", " +
+                            std::to_string(sorted[i - 1].end) + ") and [" +
+                            std::to_string(sorted[i].begin) + ", " +
+                            std::to_string(sorted[i].end) + ")");
+    }
+  }
+  return ranges;  // original order (it is part of the job expansion order)
+}
+
+TaskParams parse_params(const JsonValue* object, TaskKind task, const std::string& where) {
+  TaskParams params;
+  if (object == nullptr) return params;
+  if (!object->is_object()) spec_error(where, "params must be an object");
+  std::vector<std::string> known;
+  switch (task) {
+    case TaskKind::Dynamics:
+    case TaskKind::Poa:
+      known = {"max_rounds", "exact_limit", "schedule", "policy", "incremental"};
+      break;
+    case TaskKind::SwapEquilibrium:
+      known = {"incremental"};
+      break;
+    case TaskKind::Audit:
+      known = {"exact_limit", "swap_limit", "compute_connectivity"};
+      break;
+  }
+  for (const auto& [key, value] : object->members()) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      spec_error(where, "unknown key \"" + key + "\" in params for task " + to_string(task));
+    }
+    if (key == "max_rounds") {
+      params.max_rounds = value.as_uint();
+      if (params.max_rounds == 0) spec_error(where, "max_rounds must be positive");
+    } else if (key == "exact_limit") {
+      params.exact_limit = value.as_uint();
+    } else if (key == "swap_limit") {
+      params.swap_limit = value.as_uint();
+    } else if (key == "schedule") {
+      params.schedule = parse_schedule(value.as_string(), where);
+    } else if (key == "policy") {
+      params.policy = parse_policy(value.as_string(), where);
+    } else if (key == "incremental") {
+      params.incremental = value.as_bool();
+    } else if (key == "compute_connectivity") {
+      params.compute_connectivity = value.as_bool();
+    }
+  }
+  return params;
+}
+
+ScenarioSpec parse_scenario(const JsonValue& object, const std::string& fallback_name) {
+  ScenarioSpec scenario;
+  const JsonValue* name = object.find("name");
+  scenario.name = name != nullptr ? name->as_string() : fallback_name;
+  if (scenario.name.empty()) spec_error("scenario", "missing required key \"name\"");
+  const std::string where = "scenario \"" + scenario.name + "\"";
+
+  reject_unknown_keys(object,
+                      {"name", "base_seed", "task", "version", "generator", "budgets", "grid",
+                       "seeds", "params"},
+                      where);
+
+  scenario.task = parse_task(require_key(object, "task", where).as_string(), where);
+  scenario.version = parse_version(require_key(object, "version", where).as_string(), where);
+  if (const JsonValue* generator = object.find("generator"); generator != nullptr) {
+    scenario.generator = parse_generator(generator->as_string(), where);
+  }
+
+  // Budgets: required for random_profile, implied (and forbidden) otherwise.
+  const JsonValue* budgets = object.find("budgets");
+  if (scenario.generator == GeneratorKind::RandomProfile) {
+    if (budgets == nullptr) spec_error(where, "missing required key \"budgets\"");
+    if (!budgets->is_object()) spec_error(where, "budgets must be an object");
+    reject_unknown_keys(*budgets, {"family", "b"}, where);
+    scenario.family = parse_family(require_key(*budgets, "family", where).as_string(), where);
+    const JsonValue* b = budgets->find("b");
+    if (scenario.family == BudgetFamily::Uniform) {
+      if (b == nullptr) spec_error(where, "uniform budgets need \"b\"");
+      const std::uint64_t value = b->as_uint();
+      if (value == 0) spec_error(where, "uniform budget b must be positive");
+      if (value > std::numeric_limits<std::uint32_t>::max()) {
+        spec_error(where, "uniform budget b=" + std::to_string(value) + " does not fit 32 bits");
+      }
+      scenario.uniform_b = static_cast<std::uint32_t>(value);
+    } else if (b != nullptr) {
+      spec_error(where, "\"b\" is only meaningful for the uniform family");
+    }
+  } else if (budgets != nullptr) {
+    spec_error(where, "generator \"" + to_string(scenario.generator) +
+                          "\" implies its budgets; drop the \"budgets\" key");
+  }
+
+  // Grid: n (required, ≥2 each, no duplicates) × density (random family only).
+  const JsonValue& grid = require_key(object, "grid", where);
+  if (!grid.is_object()) spec_error(where, "grid must be an object");
+  reject_unknown_keys(grid, {"n", "density"}, where);
+  const JsonValue& grid_n = require_key(grid, "n", where);
+  if (!grid_n.is_array() || grid_n.items().empty()) {
+    spec_error(where, "grid.n must be a non-empty array");
+  }
+  for (const auto& item : grid_n.items()) {
+    const std::uint64_t n = item.as_uint();
+    if (n < 2) spec_error(where, "grid.n entries must be at least 2");
+    if (n > std::numeric_limits<std::uint32_t>::max()) {
+      spec_error(where, "grid.n entry " + std::to_string(n) + " does not fit 32 bits");
+    }
+    const auto value = static_cast<std::uint32_t>(n);
+    if (std::find(scenario.grid_n.begin(), scenario.grid_n.end(), value) !=
+        scenario.grid_n.end()) {
+      spec_error(where, "grid.n entry " + std::to_string(n) + " is duplicated");
+    }
+    scenario.grid_n.push_back(value);
+  }
+  if (const JsonValue* density = grid.find("density"); density != nullptr) {
+    const bool random_family = scenario.generator == GeneratorKind::RandomProfile &&
+                               scenario.family == BudgetFamily::Random;
+    if (!random_family) {
+      // Any density key (even a single entry) would be recorded in every
+      // JSONL row and perturb the per-job seeds without ever being applied.
+      spec_error(where, "the density axis is only meaningful for the random budget family");
+    }
+    if (!density->is_array() || density->items().empty()) {
+      spec_error(where, "grid.density must be a non-empty array");
+    }
+    for (const auto& item : density->items()) {
+      const double value = item.as_double();
+      if (!(value > 0)) spec_error(where, "grid.density entries must be positive");
+      if (std::find(scenario.grid_density.begin(), scenario.grid_density.end(), value) !=
+          scenario.grid_density.end()) {
+        spec_error(where, "grid.density entry " + std::to_string(value) + " is duplicated");
+      }
+      scenario.grid_density.push_back(value);
+    }
+    // Feasibility at every grid size: σ = round(density·n) must be dealable
+    // with every budget < n, i.e. σ ≤ n·(n−1).
+    for (const std::uint32_t n : scenario.grid_n) {
+      for (const double value : scenario.grid_density) {
+        const auto sigma = static_cast<std::uint64_t>(std::llround(value * n));
+        if (sigma > std::uint64_t{n} * (n - 1)) {
+          spec_error(where, "density " + std::to_string(value) + " is infeasible at n=" +
+                                std::to_string(n) + " (sigma would exceed n*(n-1))");
+        }
+      }
+    }
+  } else {
+    scenario.grid_density.push_back(1.0);
+  }
+
+  // Uniform b must be playable at every grid size (b ≤ n−1).
+  if (scenario.generator == GeneratorKind::RandomProfile &&
+      scenario.family == BudgetFamily::Uniform) {
+    for (const std::uint32_t n : scenario.grid_n) {
+      if (scenario.uniform_b >= n) {
+        spec_error(where, "uniform budget b=" + std::to_string(scenario.uniform_b) +
+                              " needs n > b, but grid.n has " + std::to_string(n));
+      }
+    }
+  }
+
+  scenario.seeds = parse_seeds(require_key(object, "seeds", where), where);
+  scenario.params = parse_params(object.find("params"), scenario.task, where);
+  return scenario;
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign_spec(const std::string& json_text) {
+  const JsonValue root = parse_json(json_text);
+  if (!root.is_object()) spec_error("campaign", "the top-level value must be an object");
+
+  CampaignSpec campaign;
+  campaign.name = require_key(root, "name", "campaign").as_string();
+  if (campaign.name.empty()) spec_error("campaign", "name must be non-empty");
+  if (const JsonValue* base_seed = root.find("base_seed"); base_seed != nullptr) {
+    campaign.base_seed = base_seed->as_uint();
+  }
+
+  const JsonValue* scenarios = root.find("scenarios");
+  if (scenarios != nullptr) {
+    reject_unknown_keys(root, {"name", "base_seed", "scenarios"}, "campaign");
+    if (!scenarios->is_array() || scenarios->items().empty()) {
+      spec_error("campaign", "scenarios must be a non-empty array");
+    }
+    for (const auto& item : scenarios->items()) {
+      if (!item.is_object()) spec_error("campaign", "each scenario must be an object");
+      if (item.find("name") == nullptr) spec_error("scenario", "missing required key \"name\"");
+      if (item.find("base_seed") != nullptr) {
+        spec_error("campaign", "base_seed belongs at the campaign level, not in a scenario");
+      }
+      campaign.scenarios.push_back(parse_scenario(item, ""));
+    }
+  } else {
+    // Single-scenario form: scenario keys live at the top level.
+    campaign.scenarios.push_back(parse_scenario(root, campaign.name));
+  }
+
+  for (std::size_t i = 0; i < campaign.scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < campaign.scenarios.size(); ++j) {
+      if (campaign.scenarios[i].name == campaign.scenarios[j].name) {
+        spec_error("campaign",
+                   "duplicate scenario name \"" + campaign.scenarios[i].name + "\"");
+      }
+    }
+  }
+  return campaign;
+}
+
+CampaignSpec load_campaign_spec(const std::string& path, std::string* raw_text) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("spec: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  CampaignSpec campaign = parse_campaign_spec(text);
+  if (raw_text != nullptr) *raw_text = std::move(text);
+  return campaign;
+}
+
+std::string spec_fingerprint(const std::string& json_text) {
+  std::uint64_t hash = fnv1a64(json_text);
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace bbng

@@ -1,0 +1,112 @@
+// Declarative experiment specs for the scenario engine.
+//
+// A spec is a JSON document describing a *campaign*: one or more scenarios,
+// each a (graph generator, budget family, cost version, task, parameter
+// grid, seed ranges) tuple. The engine expands a campaign into a
+// deterministic job list (jobgraph.hpp) and runs it sharded (runner.hpp).
+//
+// Parsing is strict: unknown keys, unknown task names, empty grids, and
+// overlapping seed ranges are rejected with a message naming the offending
+// field, so a typo'd million-instance campaign dies at validate time rather
+// than after a night of compute. The accepted schema is documented in
+// examples/specs/README.md next to the regime specs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/dynamics.hpp"
+#include "game/game.hpp"
+
+namespace bbng {
+
+/// What the engine computes per game instance (see tasks.hpp for adapters).
+enum class TaskKind {
+  Dynamics,         ///< run best-response dynamics, record convergence
+  SwapEquilibrium,  ///< verify single-head swap stability of the start state
+  Poa,              ///< dynamics to rest, then bracket the PoA contribution
+  Audit,            ///< full StateAudit of the generated state
+};
+
+/// How the initial realization is produced.
+enum class GeneratorKind {
+  RandomProfile,  ///< budgets from `family`, then a uniform random profile
+  RandomTree,     ///< uniform random tree, child→parent (budgets implied)
+  Path,           ///< directed path (budgets implied)
+  Cycle,          ///< directed cycle (budgets implied)
+  Star,           ///< center owns all leaves (budgets implied)
+};
+
+/// Budget-vector family for GeneratorKind::RandomProfile.
+enum class BudgetFamily {
+  Tree,     ///< σ = n−1, dealt uniformly (Section 3 regime)
+  Unit,     ///< b_i = 1 for all i (Section 4 regime)
+  Uniform,  ///< b_i = b for all i (Section 8 suggested open case)
+  Random,   ///< σ = round(density·n), dealt uniformly (general regime)
+};
+
+[[nodiscard]] std::string to_string(TaskKind kind);
+[[nodiscard]] std::string to_string(GeneratorKind kind);
+[[nodiscard]] std::string to_string(BudgetFamily family);
+
+/// Half-open seed interval [begin, end).
+struct SeedRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] std::uint64_t count() const noexcept { return end - begin; }
+};
+
+/// Per-task tunables (a strict subset applies to each TaskKind; the parser
+/// rejects keys that the scenario's task does not consume).
+struct TaskParams {
+  std::uint64_t max_rounds = 200;       ///< dynamics, poa
+  std::uint64_t exact_limit = 20'000;   ///< dynamics, poa, audit
+  Schedule schedule = Schedule::RoundRobin;          ///< dynamics, poa
+  MovePolicy policy = MovePolicy::BestResponse;      ///< dynamics, poa
+  bool incremental = true;              ///< dynamics, poa, swap_equilibrium
+  std::uint64_t swap_limit = 2'000'000; ///< audit
+  bool compute_connectivity = false;    ///< audit (κ costs O(n) max-flows)
+};
+
+struct ScenarioSpec {
+  std::string name;
+  TaskKind task = TaskKind::Dynamics;
+  CostVersion version = CostVersion::Sum;
+  GeneratorKind generator = GeneratorKind::RandomProfile;
+  BudgetFamily family = BudgetFamily::Tree;
+  std::uint32_t uniform_b = 1;          ///< family == Uniform only
+  std::vector<std::uint32_t> grid_n;    ///< instance sizes (axis 1)
+  std::vector<double> grid_density;     ///< σ/n for family == Random (axis 2)
+  std::vector<SeedRange> seeds;         ///< disjoint ranges (axis 3)
+  TaskParams params;
+
+  [[nodiscard]] std::uint64_t seed_count() const noexcept;
+  [[nodiscard]] std::uint64_t num_jobs() const noexcept;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::uint64_t base_seed = 1;
+  std::vector<ScenarioSpec> scenarios;
+
+  [[nodiscard]] std::uint64_t num_jobs() const noexcept;
+};
+
+/// Parse + validate a campaign spec. The document is either a campaign
+/// ({"name", "base_seed"?, "scenarios": [...]}) or a single scenario object
+/// (scenario keys at top level), which becomes a one-scenario campaign.
+/// Throws JsonParseError on malformed JSON and std::invalid_argument on a
+/// schema violation.
+[[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
+
+/// Read `path` and parse_campaign_spec() it; when `raw_text` is non-null the
+/// file's exact bytes are stored there (the runner fingerprints them).
+[[nodiscard]] CampaignSpec load_campaign_spec(const std::string& path,
+                                              std::string* raw_text = nullptr);
+
+/// FNV-1a 64 fingerprint of the spec bytes, as 16 hex digits. Checkpoint
+/// manifests record it so `resume` refuses to continue a different spec.
+[[nodiscard]] std::string spec_fingerprint(const std::string& json_text);
+
+}  // namespace bbng

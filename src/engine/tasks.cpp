@@ -1,0 +1,174 @@
+#include "engine/tasks.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "constructions/poa.hpp"
+#include "game/analysis.hpp"
+#include "game/cost.hpp"
+#include "game/dynamics.hpp"
+#include "game/equilibrium.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+namespace {
+
+std::vector<std::uint32_t> make_budgets(const ScenarioSpec& scenario, std::uint32_t n,
+                                        double density, Rng& rng) {
+  switch (scenario.family) {
+    case BudgetFamily::Tree: return random_budgets(n, n - 1, rng);
+    case BudgetFamily::Unit: return std::vector<std::uint32_t>(n, 1);
+    case BudgetFamily::Uniform: return std::vector<std::uint32_t>(n, scenario.uniform_b);
+    case BudgetFamily::Random: {
+      const auto sigma = static_cast<std::uint64_t>(std::llround(density * n));
+      return random_budgets(n, sigma, rng);
+    }
+  }
+  BBNG_ASSERT(false);
+  return {};
+}
+
+Digraph make_initial(const ScenarioSpec& scenario, std::uint32_t n, double density, Rng& rng) {
+  switch (scenario.generator) {
+    case GeneratorKind::RandomProfile:
+      return random_profile(make_budgets(scenario, n, density, rng), rng);
+    case GeneratorKind::RandomTree: return random_tree_digraph(n, rng);
+    case GeneratorKind::Path: return path_digraph(n);
+    case GeneratorKind::Cycle: return cycle_digraph(n);
+    case GeneratorKind::Star: return star_digraph(n);
+  }
+  BBNG_ASSERT(false);
+  return Digraph(1);
+}
+
+DynamicsConfig dynamics_config(const ScenarioSpec& scenario, Rng& rng) {
+  DynamicsConfig config;
+  config.version = scenario.version;
+  config.schedule = scenario.params.schedule;
+  config.policy = scenario.params.policy;
+  config.max_rounds = scenario.params.max_rounds;
+  config.exact_limit = scenario.params.exact_limit;
+  config.seed = rng();  // fresh stream for the schedule, after generator draws
+  config.incremental = scenario.params.incremental;
+  return config;
+}
+
+void emit_dynamics(JsonWriter& writer, const DynamicsResult& result) {
+  const UGraph underlying = result.graph.underlying();
+  writer.field("converged", result.converged)
+      .field("cycle_detected", result.cycle_detected)
+      .field("all_moves_exact", result.all_moves_exact)
+      .field("rounds", result.rounds)
+      .field("moves", result.moves)
+      .field("evaluations", result.evaluations)
+      .field("bfs_avoided", result.bfs_avoided)
+      .field("connected", is_connected(underlying))
+      .field("social_cost", social_cost(underlying));
+}
+
+void run_dynamics(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
+                  Rng& rng) {
+  const DynamicsResult result =
+      run_best_response_dynamics(initial, dynamics_config(scenario, rng));
+  emit_dynamics(writer, result);
+}
+
+void run_poa(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
+             Rng& rng) {
+  const DynamicsResult result =
+      run_best_response_dynamics(initial, dynamics_config(scenario, rng));
+  const BudgetGame game(result.graph.budgets());
+  const PoaEstimate estimate = poa_estimate(game, result.graph);
+  writer.field("converged", result.converged)
+      .field("equilibrium_diameter", estimate.equilibrium_diameter)
+      .field("opt_lower", estimate.opt.lower)
+      .field("opt_upper", estimate.opt.upper)
+      .field("ratio_lower", estimate.ratio_lower)
+      .field("ratio_upper", estimate.ratio_upper);
+}
+
+void run_swap_equilibrium(JsonWriter& writer, const ScenarioSpec& scenario,
+                          const Digraph& initial) {
+  const EquilibriumReport report = verify_swap_equilibrium(
+      initial, scenario.version, /*pool=*/nullptr, scenario.params.incremental);
+  writer.field("stable", report.stable)
+      .field("strategies_checked", report.strategies_checked)
+      .field("bfs_avoided", report.bfs_avoided);
+  writer.key("deviator");
+  if (report.stable) {
+    writer.null();
+    writer.key("improvement").null();
+  } else {
+    writer.value(report.deviator);
+    writer.field("improvement", report.old_cost - report.new_cost);
+  }
+}
+
+void run_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial) {
+  AuditOptions options;
+  options.version = scenario.version;
+  options.exact_limit = scenario.params.exact_limit;
+  options.swap_limit = scenario.params.swap_limit;
+  options.compute_connectivity = scenario.params.compute_connectivity;
+  const StateAudit audit = audit_state(initial, options);
+  writer.field("connected", audit.connected)
+      .field("social_cost", audit.social_cost)
+      .field("brace_count", audit.brace_count)
+      .field("vertex_connectivity", audit.vertex_connectivity)
+      .field("min_cost", audit.min_cost)
+      .field("max_cost", audit.max_cost)
+      .field("mean_cost", audit.mean_cost)
+      .field("certificate", to_string(audit.certificate));
+}
+
+}  // namespace
+
+std::string run_job_line(const CampaignSpec& campaign, const Job& job) {
+  BBNG_REQUIRE(job.scenario_index < campaign.scenarios.size());
+  const ScenarioSpec& scenario = campaign.scenarios[job.scenario_index];
+  Rng rng(job.rng_seed);
+  const Digraph initial = make_initial(scenario, job.n, job.density, rng);
+
+  std::ostringstream os;
+  JsonWriter writer(os, /*pretty=*/false);
+  writer.begin_object()
+      .field("job", job.id)
+      .field("scenario", scenario.name)
+      .field("task", to_string(scenario.task))
+      .field("version", to_string(scenario.version))
+      .field("n", job.n)
+      .field("density", job.density)
+      .field("seed", job.seed);
+  switch (scenario.task) {
+    case TaskKind::Dynamics: run_dynamics(writer, scenario, initial, rng); break;
+    case TaskKind::Poa: run_poa(writer, scenario, initial, rng); break;
+    case TaskKind::SwapEquilibrium: run_swap_equilibrium(writer, scenario, initial); break;
+    case TaskKind::Audit: run_audit(writer, scenario, initial); break;
+  }
+  writer.end_object();
+  BBNG_ASSERT(writer.complete());
+  return os.str();
+}
+
+std::vector<std::pair<std::string, std::string>> list_tasks() {
+  return {
+      {"dynamics",
+       "run best-response dynamics from the generated state; records convergence, "
+       "rounds, moves, and the final social cost (Section 8 open problem)"},
+      {"swap_equilibrium",
+       "verify single-head swap stability of the generated state (Section 6 "
+       "necessary condition); records the first deviator when unstable"},
+      {"poa",
+       "run dynamics to rest, then bracket the equilibrium's price-of-anarchy "
+       "contribution against the optimum diameter bounds (Table 1)"},
+      {"audit",
+       "full state audit: connectivity, social cost, braces, cost spread, and the "
+       "strongest feasible stability certificate"},
+  };
+}
+
+}  // namespace bbng

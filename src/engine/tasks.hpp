@@ -1,0 +1,28 @@
+// Task adapters: one game instance in, one JSONL record out.
+//
+// Each TaskKind wraps an existing analysis entry point — the dynamics
+// engine, the swap-equilibrium verifier, the PoA bracket, the state audit —
+// behind a uniform signature the runner can shard. A job runs strictly
+// single-threaded (the engine parallelises *across* jobs, not inside them)
+// and derives all randomness from Job::rng_seed, so the emitted line is a
+// pure function of the job and the line set is independent of thread count,
+// shard order, and interruption.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/jobgraph.hpp"
+#include "engine/spec.hpp"
+
+namespace bbng {
+
+/// Execute one job and return its JSONL record (compact JSON, no newline).
+/// Field order is fixed per task kind; byte-stable across runs.
+[[nodiscard]] std::string run_job_line(const CampaignSpec& campaign, const Job& job);
+
+/// (name, one-line description) of every TaskKind, for `bbng_engine list-tasks`.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> list_tasks();
+
+}  // namespace bbng

@@ -1,6 +1,8 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -155,5 +157,339 @@ std::string JsonWriter::escape(const std::string& text) {
   }
   return out;
 }
+
+// ------------------------------------------------------------------ JsonValue
+
+const char* JsonValue::kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Int: return "int";
+    case Kind::Double: return "double";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void kind_mismatch(const char* wanted, JsonValue::Kind got) {
+  throw std::invalid_argument(std::string("JSON value is ") + JsonValue::kind_name(got) +
+                              ", wanted " + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_mismatch("bool", kind_);
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::Int) kind_mismatch("int", kind_);
+  return int_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (kind_ != Kind::Int) kind_mismatch("int", kind_);
+  if (int_ < 0) throw std::invalid_argument("JSON value is negative, wanted unsigned");
+  return static_cast<std::uint64_t>(int_);
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ != Kind::Double) kind_mismatch("number", kind_);
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_mismatch("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_);
+  return items_;
+}
+
+const JsonValue::Members& JsonValue::members() const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  for (const auto& [key, value] : members_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& name) const {
+  const JsonValue* found = find(name);
+  if (found == nullptr) throw std::invalid_argument("missing JSON key \"" + name + "\"");
+  return *found;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::Array) return items_.size();
+  if (kind_ == Kind::Object) return members_.size();
+  kind_mismatch("array or object", kind_);
+}
+
+// --------------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the top-level value");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonParseError(what, line, column);
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() noexcept {
+    while (!done()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (done() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    if (done()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue::Members members;
+    skip_whitespace();
+    if (!done() && peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (done() || peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (done()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (!done() && peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    while (true) {
+      skip_whitespace();
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (done()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (done()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: a low one must follow
+      if (!consume_literal("\\u")) fail("high surrogate without a \\u low surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("stray low surrogate");
+    }
+    // Encode the code point as UTF-8.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    if (done() || peek() < '0' || peek() > '9') fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!done() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("digits must follow a decimal point");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("digits must follow an exponent");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<std::int64_t>(parsed));
+      }
+      errno = 0;  // magnitude beyond int64: fall through to double
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL)) {
+      fail("number out of range");
+    }
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return JsonValue(parsed);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).run(); }
 
 }  // namespace bbng

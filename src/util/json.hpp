@@ -1,15 +1,24 @@
-// Minimal JSON writer for experiment records.
+// Minimal JSON writer + strict parser for experiment records.
 //
 // Benches and examples can dump machine-readable records (budgets, reached
 // equilibria, measured diameters) next to their ASCII tables. The writer is
 // a push API with explicit begin/end, validates nesting, and escapes string
-// values per RFC 8259. There is deliberately no parser — the library only
-// ever emits JSON.
+// values per RFC 8259.
+//
+// The parser (parse_json) was added for the scenario engine, which reads
+// declarative experiment specs and its own JSONL artifacts back in. It is a
+// strict RFC 8259 recursive-descent parser into an immutable JsonValue tree:
+// duplicate object keys are rejected (a spec with two "grid" entries is a
+// user error, not a last-wins coin toss), object member order is preserved,
+// and errors carry line:column positions.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bbng {
@@ -66,5 +75,83 @@ class JsonWriter {
   bool pending_key_ = false;
   bool top_level_written_ = false;
 };
+
+/// Parse failure, with the 1-based line:column of the offending character.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t line, std::size_t column)
+      : std::runtime_error("JSON parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Immutable parsed JSON value. Integral numbers (no fraction/exponent, fits
+/// int64) keep exact integer identity; everything else is a double. Object
+/// members preserve source order; accessors throw std::invalid_argument on a
+/// kind mismatch so schema code reads linearly.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::Null) {}
+  explicit JsonValue(bool flag) : kind_(Kind::Bool), bool_(flag) {}
+  explicit JsonValue(std::int64_t number) : kind_(Kind::Int), int_(number) {}
+  explicit JsonValue(double number) : kind_(Kind::Double), double_(number) {}
+  explicit JsonValue(std::string text) : kind_(Kind::String), string_(std::move(text)) {}
+  explicit JsonValue(std::vector<JsonValue> items)
+      : kind_(Kind::Array), items_(std::move(items)) {}
+  explicit JsonValue(Members members) : kind_(Kind::Object), members_(std::move(members)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_int() const noexcept { return kind_ == Kind::Int; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;     ///< Int only (exactness matters)
+  [[nodiscard]] std::uint64_t as_uint() const;   ///< Int ≥ 0
+  [[nodiscard]] double as_double() const;        ///< Int or Double
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;  ///< Array
+  [[nodiscard]] const Members& members() const;               ///< Object, source order
+
+  /// Object member lookup; nullptr when the key is absent.
+  [[nodiscard]] const JsonValue* find(const std::string& name) const;
+  /// Object member lookup; throws std::invalid_argument when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& name) const;
+
+  /// Element/member count of an array/object.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] static const char* kind_name(Kind kind) noexcept;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+/// Parse exactly one JSON value (plus surrounding whitespace) from `text`.
+/// Throws JsonParseError with a 1-based position on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace bbng

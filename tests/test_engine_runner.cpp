@@ -1,0 +1,240 @@
+// Runner determinism tests — the engine's core contract: a campaign's JSONL
+// artifact is byte-identical at any thread count, any checkpoint cadence,
+// and across forced kill+resume at several job indices (including a chain
+// of kills), because jobs are pure functions committed in id order and the
+// checkpoint manifest journals the committed prefix exactly.
+#include "engine/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/sinks.hpp"
+
+namespace bbng {
+namespace {
+
+// 2 scenarios × small grids = 28 jobs, mixing two task kinds.
+const char* kCampaignText = R"({
+  "name": "runner_probe",
+  "base_seed": 3,
+  "scenarios": [
+    {"name": "dyn", "task": "dynamics", "version": "sum",
+     "budgets": {"family": "tree"}, "grid": {"n": [6, 8]},
+     "seeds": {"begin": 0, "end": 10},
+     "params": {"max_rounds": 100, "exact_limit": 5000}},
+    {"name": "swap", "task": "swap_equilibrium", "version": "max",
+     "budgets": {"family": "unit"}, "grid": {"n": [7]},
+     "seeds": {"begin": 0, "end": 8}}
+  ]
+})";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class EngineRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    campaign_ = parse_campaign_spec(kCampaignText);
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("bbng_engine_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& leaf) const { return (dir_ / leaf).string(); }
+
+  [[nodiscard]] RunnerConfig config(const std::string& leaf, unsigned threads,
+                                    std::uint64_t checkpoint_every = 5) const {
+    RunnerConfig cfg;
+    cfg.output_path = path(leaf);
+    cfg.threads = threads;
+    cfg.checkpoint_every = checkpoint_every;
+    return cfg;
+  }
+
+  /// Uninterrupted single-threaded run — the reference bytes.
+  [[nodiscard]] std::string reference_bytes() {
+    const RunnerConfig cfg = config("reference.jsonl", 1);
+    const RunReport report = run_campaign(campaign_, kCampaignText, cfg);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.committed, campaign_.num_jobs());
+    return read_file(cfg.output_path);
+  }
+
+  CampaignSpec campaign_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(EngineRunnerTest, ThreadCountDoesNotChangeTheBytes) {
+  const std::string reference = reference_bytes();
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    const RunnerConfig cfg =
+        config("t" + std::to_string(threads) + ".jsonl", threads, /*checkpoint_every=*/3);
+    const RunReport report = run_campaign(campaign_, kCampaignText, cfg);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(read_file(cfg.output_path), reference) << "threads=" << threads;
+  }
+}
+
+TEST_F(EngineRunnerTest, WindowAndCadenceDoNotChangeTheBytes) {
+  const std::string reference = reference_bytes();
+  for (const std::uint64_t window : {1u, 3u, 100u}) {
+    RunnerConfig cfg = config("w" + std::to_string(window) + ".jsonl", 2, 1);
+    cfg.window = window;
+    const RunReport report = run_campaign(campaign_, kCampaignText, cfg);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(read_file(cfg.output_path), reference) << "window=" << window;
+  }
+}
+
+TEST_F(EngineRunnerTest, KillAndResumeIsByteIdentical) {
+  const std::string reference = reference_bytes();
+  const std::uint64_t total = campaign_.num_jobs();
+  // Kill after the first commit, mid-run (off and on a checkpoint boundary),
+  // and one short of completion; resume at a different thread count.
+  for (const std::uint64_t kill_at : {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{15},
+                                      total - 1}) {
+    const std::string leaf = "kill" + std::to_string(kill_at) + ".jsonl";
+    RunnerConfig cfg = config(leaf, 1);
+    cfg.halt_after = kill_at;
+    const RunReport halted = run_campaign(campaign_, kCampaignText, cfg);
+    EXPECT_FALSE(halted.completed);
+    EXPECT_EQ(halted.committed, kill_at);
+    // A halted run must not have produced a summary (it lands only after the
+    // full artifact, right before the completed manifest).
+    EXPECT_FALSE(std::filesystem::exists(summary_path_for(cfg.output_path)));
+
+    RunnerConfig resume_cfg = config(leaf, 3);
+    const RunReport resumed = resume_campaign(campaign_, kCampaignText, resume_cfg);
+    EXPECT_TRUE(resumed.completed);
+    EXPECT_EQ(resumed.committed, total);
+    // The resumed run re-executes only from the last checkpoint, never from 0.
+    EXPECT_EQ(resumed.committed_before + resumed.executed, total);
+    EXPECT_EQ(resumed.committed_before, kill_at - (kill_at % 5));
+    EXPECT_EQ(read_file(resume_cfg.output_path), reference) << "kill_at=" << kill_at;
+    EXPECT_EQ(read_file(summary_path_for(resume_cfg.output_path)),
+              read_file(summary_path_for(path("reference.jsonl"))));
+  }
+}
+
+TEST_F(EngineRunnerTest, ChainOfKillsStillConverges) {
+  const std::string reference = reference_bytes();
+  const std::string leaf = "chain.jsonl";
+  RunnerConfig cfg = config(leaf, 2, /*checkpoint_every=*/4);
+  cfg.halt_after = 3;
+  EXPECT_FALSE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  for (const std::uint64_t kill_at : {std::uint64_t{11}, std::uint64_t{19}}) {
+    RunnerConfig again = config(leaf, 1, /*checkpoint_every=*/4);
+    again.halt_after = kill_at;
+    const RunReport report = resume_campaign(campaign_, kCampaignText, again);
+    EXPECT_FALSE(report.completed);
+    EXPECT_EQ(report.committed, kill_at);
+  }
+  const RunReport last = resume_campaign(campaign_, kCampaignText, config(leaf, 4));
+  EXPECT_TRUE(last.completed);
+  EXPECT_EQ(read_file(path(leaf)), reference);
+}
+
+TEST_F(EngineRunnerTest, ResumeOfACompletedRunIsANoOp) {
+  const RunnerConfig cfg = config("done.jsonl", 1);
+  EXPECT_TRUE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  const std::string before = read_file(cfg.output_path);
+  const RunReport report = resume_campaign(campaign_, kCampaignText, cfg);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.executed, 0u);
+  EXPECT_EQ(read_file(cfg.output_path), before);
+}
+
+TEST_F(EngineRunnerTest, ResumeRefusesADifferentSpec) {
+  RunnerConfig cfg = config("spec.jsonl", 1);
+  cfg.halt_after = 4;
+  EXPECT_FALSE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  const std::string other_text = std::string(kCampaignText) + "\n";
+  const CampaignSpec other = parse_campaign_spec(other_text);
+  try {
+    static_cast<void>(resume_campaign(other, other_text, cfg));
+    FAIL() << "resume accepted a different spec";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("different spec"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(EngineRunnerTest, ResumeWithoutACheckpointRefuses) {
+  EXPECT_THROW(
+      static_cast<void>(resume_campaign(campaign_, kCampaignText, config("ghost.jsonl", 1))),
+      std::invalid_argument);
+}
+
+TEST_F(EngineRunnerTest, RunRefusesToClobberWithoutOverwrite) {
+  const RunnerConfig cfg = config("clobber.jsonl", 1);
+  EXPECT_TRUE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  EXPECT_THROW(static_cast<void>(run_campaign(campaign_, kCampaignText, cfg)),
+               std::invalid_argument);
+  RunnerConfig forced = cfg;
+  forced.overwrite = true;
+  EXPECT_TRUE(run_campaign(campaign_, kCampaignText, forced).completed);
+}
+
+TEST_F(EngineRunnerTest, TruncatedArtifactIsRejected) {
+  const std::string leaf = "truncated.jsonl";
+  RunnerConfig cfg = config(leaf, 1);
+  cfg.halt_after = 10;
+  EXPECT_FALSE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  // Corrupt the artifact below the journalled offset.
+  std::filesystem::resize_file(path(leaf), 10);
+  try {
+    static_cast<void>(resume_campaign(campaign_, kCampaignText, cfg));
+    FAIL() << "resume accepted a corrupt artifact";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("shorter than its checkpoint"), std::string::npos);
+  }
+}
+
+TEST_F(EngineRunnerTest, HeaderRecordsHostMetadataAndSummaryAggregates) {
+  const RunnerConfig cfg = config("artifact.jsonl", 2);
+  const RunReport report = run_campaign(campaign_, kCampaignText, cfg);
+  EXPECT_TRUE(report.completed);
+
+  const JsonlFile file = read_jsonl(cfg.output_path);
+  EXPECT_EQ(file.header.at("format").as_string(), "bbng-jsonl");
+  EXPECT_EQ(file.header.at("campaign").as_string(), "runner_probe");
+  EXPECT_EQ(file.header.at("spec_fingerprint").as_string(), spec_fingerprint(kCampaignText));
+  EXPECT_EQ(file.header.at("total_jobs").as_uint(), campaign_.num_jobs());
+  const JsonValue& host = file.header.at("host");
+  EXPECT_TRUE(host.at("host_threads").is_int());
+  EXPECT_FALSE(host.at("compiler").as_string().empty());
+  EXPECT_FALSE(host.at("build_type").as_string().empty());
+  EXPECT_FALSE(host.at("git_sha").as_string().empty());
+  ASSERT_EQ(file.records.size(), campaign_.num_jobs());
+  for (std::size_t i = 0; i < file.records.size(); ++i) {
+    EXPECT_EQ(file.records[i].at("job").as_uint(), i);  // commit order == job order
+  }
+
+  const JsonValue summary = parse_json(read_file(summary_path_for(cfg.output_path)));
+  // The atomic tmp+rename summary write must not leave its tmp file behind.
+  EXPECT_FALSE(std::filesystem::exists(summary_path_for(cfg.output_path) + ".tmp"));
+  EXPECT_EQ(summary.at("jobs").as_uint(), campaign_.num_jobs());
+  ASSERT_EQ(summary.at("scenarios").items().size(), 2u);
+  const JsonValue& dyn = summary.at("scenarios").items()[0];
+  EXPECT_EQ(dyn.at("name").as_string(), "dyn");
+  EXPECT_EQ(dyn.at("jobs").as_uint(), 20u);
+  EXPECT_EQ(dyn.at("numbers").at("rounds").at("count").as_uint(), 20u);
+  // converged is a bool field: counted, not averaged.
+  EXPECT_LE(dyn.at("bool_true_counts").at("converged").as_uint(), 20u);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,0 +1,259 @@
+// Spec-validation golden tests for the scenario engine: well-formed specs
+// parse into the expected CampaignSpec, and each class of malformed spec
+// (unknown task, empty grid, overlapping seed ranges, stray keys, …) is
+// rejected with a message naming the offence. Also pins the job-expansion
+// order and the content-derived per-job RNG seeds that the byte-identical
+// resume contract depends on.
+#include "engine/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "engine/jobgraph.hpp"
+#include "util/json.hpp"
+
+namespace bbng {
+namespace {
+
+const char* kValidSingle = R"({
+  "name": "tree_sum",
+  "task": "dynamics",
+  "version": "sum",
+  "budgets": {"family": "tree"},
+  "grid": {"n": [8, 12]},
+  "seeds": {"begin": 0, "end": 5},
+  "params": {"max_rounds": 50, "exact_limit": 1000, "schedule": "random_permutation"}
+})";
+
+const char* kValidCampaign = R"({
+  "name": "two",
+  "base_seed": 7,
+  "scenarios": [
+    {"name": "a", "task": "poa", "version": "max",
+     "budgets": {"family": "random"},
+     "grid": {"n": [8], "density": [1.0, 2.0]},
+     "seeds": [{"begin": 0, "end": 3}, {"begin": 10, "end": 12}]},
+    {"name": "b", "task": "audit", "version": "sum",
+     "generator": "star",
+     "grid": {"n": [9]},
+     "seeds": {"begin": 0, "end": 4},
+     "params": {"compute_connectivity": true}}
+  ]
+})";
+
+TEST(EngineSpec, ParsesSingleScenarioForm) {
+  const CampaignSpec campaign = parse_campaign_spec(kValidSingle);
+  EXPECT_EQ(campaign.name, "tree_sum");
+  EXPECT_EQ(campaign.base_seed, 1u);
+  ASSERT_EQ(campaign.scenarios.size(), 1u);
+  const ScenarioSpec& scenario = campaign.scenarios[0];
+  EXPECT_EQ(scenario.name, "tree_sum");
+  EXPECT_EQ(scenario.task, TaskKind::Dynamics);
+  EXPECT_EQ(scenario.version, CostVersion::Sum);
+  EXPECT_EQ(scenario.generator, GeneratorKind::RandomProfile);
+  EXPECT_EQ(scenario.family, BudgetFamily::Tree);
+  EXPECT_EQ(scenario.grid_n, (std::vector<std::uint32_t>{8, 12}));
+  EXPECT_EQ(scenario.grid_density, std::vector<double>{1.0});
+  EXPECT_EQ(scenario.seed_count(), 5u);
+  EXPECT_EQ(scenario.params.max_rounds, 50u);
+  EXPECT_EQ(scenario.params.exact_limit, 1000u);
+  EXPECT_EQ(scenario.params.schedule, Schedule::RandomPermutation);
+  EXPECT_TRUE(scenario.params.incremental);
+  EXPECT_EQ(campaign.num_jobs(), 10u);
+}
+
+TEST(EngineSpec, ParsesCampaignForm) {
+  const CampaignSpec campaign = parse_campaign_spec(kValidCampaign);
+  EXPECT_EQ(campaign.name, "two");
+  EXPECT_EQ(campaign.base_seed, 7u);
+  ASSERT_EQ(campaign.scenarios.size(), 2u);
+  EXPECT_EQ(campaign.scenarios[0].task, TaskKind::Poa);
+  EXPECT_EQ(campaign.scenarios[0].family, BudgetFamily::Random);
+  EXPECT_EQ(campaign.scenarios[0].grid_density, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(campaign.scenarios[0].seed_count(), 5u);   // 3 + 2
+  EXPECT_EQ(campaign.scenarios[0].num_jobs(), 10u);    // 1 n × 2 densities × 5 seeds
+  EXPECT_EQ(campaign.scenarios[1].generator, GeneratorKind::Star);
+  EXPECT_TRUE(campaign.scenarios[1].params.compute_connectivity);
+  EXPECT_EQ(campaign.num_jobs(), 14u);
+}
+
+/// Each entry: (mutated spec text, expected error-message fragment).
+struct BadSpec {
+  const char* text;
+  const char* fragment;
+};
+
+TEST(EngineSpec, MalformedSpecsRejectedWithNamedOffence) {
+  const BadSpec cases[] = {
+      // Unknown task.
+      {R"({"name":"x","task":"frobnicate","version":"sum",
+           "budgets":{"family":"tree"},"grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "unknown task \"frobnicate\""},
+      // Empty grid.
+      {R"({"name":"x","task":"dynamics","version":"sum",
+           "budgets":{"family":"tree"},"grid":{"n":[]},"seeds":{"begin":0,"end":1}})",
+       "grid.n must be a non-empty array"},
+      // Overlapping seed ranges.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":[{"begin":0,"end":10},{"begin":5,"end":12}]})",
+       "seed ranges overlap"},
+      // Empty seed range.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":4,"end":4}})",
+       "empty seed range"},
+      // Unknown version.
+      {R"({"name":"x","task":"dynamics","version":"avg",
+           "budgets":{"family":"tree"},"grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "unknown version"},
+      // Unknown key at scenario level.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},"grids":{}})",
+       "unknown key \"grids\""},
+      // Unknown params key for the task.
+      {R"({"name":"x","task":"swap_equilibrium","version":"sum",
+           "budgets":{"family":"unit"},"grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"max_rounds":5}})",
+       "unknown key \"max_rounds\" in params"},
+      // Missing budgets for random_profile.
+      {R"({"name":"x","task":"dynamics","version":"sum",
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "missing required key \"budgets\""},
+      // Budgets with an implied-budget generator.
+      {R"({"name":"x","task":"dynamics","version":"sum","generator":"path",
+           "budgets":{"family":"tree"},"grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "implies its budgets"},
+      // Unknown budget family.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"plutocratic"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "unknown budget family"},
+      // Uniform family without b.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"uniform"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "uniform budgets need \"b\""},
+      // Uniform b too large for the grid.
+      {R"({"name":"x","task":"dynamics","version":"sum",
+           "budgets":{"family":"uniform","b":8},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "needs n > b"},
+      // Density axis outside the random family.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8],"density":[1.0,2.0]},"seeds":{"begin":0,"end":1}})",
+       "density axis is only meaningful"},
+      // Even a single-entry density is rejected outside the random family —
+      // it would be stamped into every record and perturb job seeds while
+      // never being applied.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"unit"},
+           "grid":{"n":[8],"density":[2.0]},"seeds":{"begin":0,"end":1}})",
+       "density axis is only meaningful"},
+      // Density that no budget vector can realise (σ > n·(n−1)) dies at
+      // validate time, not mid-campaign.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"random"},
+           "grid":{"n":[8],"density":[50.0]},"seeds":{"begin":0,"end":1}})",
+       "infeasible"},
+      // Duplicate n.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8,8]},"seeds":{"begin":0,"end":1}})",
+       "duplicated"},
+      // Duplicate density (would run and double-count identical jobs).
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"random"},
+           "grid":{"n":[8],"density":[1.0,1.0]},"seeds":{"begin":0,"end":1}})",
+       "duplicated"},
+      // n too small.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[1]},"seeds":{"begin":0,"end":1}})",
+       "at least 2"},
+      // n beyond 32 bits must error, not truncate (4294967298 ≡ 2 mod 2^32).
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[4294967298]},"seeds":{"begin":0,"end":1}})",
+       "does not fit 32 bits"},
+      // Uniform b beyond 32 bits must error, not truncate to 0.
+      {R"({"name":"x","task":"dynamics","version":"sum",
+           "budgets":{"family":"uniform","b":4294967296},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "does not fit 32 bits"},
+      // Duplicate scenario names in a campaign.
+      {R"({"name":"c","scenarios":[
+           {"name":"a","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+            "grid":{"n":[8]},"seeds":{"begin":0,"end":1}},
+           {"name":"a","task":"dynamics","version":"max","budgets":{"family":"tree"},
+            "grid":{"n":[8]},"seeds":{"begin":0,"end":1}}]})",
+       "duplicate scenario name"},
+      // base_seed misplaced inside a campaign scenario.
+      {R"({"name":"c","scenarios":[
+           {"name":"a","base_seed":3,"task":"dynamics","version":"sum",
+            "budgets":{"family":"tree"},"grid":{"n":[8]},"seeds":{"begin":0,"end":1}}]})",
+       "base_seed belongs at the campaign level"},
+      // Empty scenarios array.
+      {R"({"name":"c","scenarios":[]})", "non-empty array"},
+      // Missing name.
+      {R"({"task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
+       "missing required key \"name\""},
+  };
+  for (const BadSpec& bad : cases) {
+    try {
+      static_cast<void>(parse_campaign_spec(bad.text));
+      FAIL() << "spec accepted but should have been rejected: " << bad.text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(bad.fragment), std::string::npos)
+          << "error was: " << error.what() << "\nexpected fragment: " << bad.fragment;
+    }
+  }
+}
+
+TEST(EngineSpec, MalformedJsonSurfacesParsePosition) {
+  EXPECT_THROW(static_cast<void>(parse_campaign_spec("{\"name\": }")), JsonParseError);
+}
+
+TEST(EngineSpec, FingerprintIsStableAndContentSensitive) {
+  const std::string a = spec_fingerprint(kValidSingle);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, spec_fingerprint(kValidSingle));
+  EXPECT_NE(a, spec_fingerprint(std::string(kValidSingle) + " "));
+}
+
+TEST(EngineSpec, ExpansionOrderAndIds) {
+  const CampaignSpec campaign = parse_campaign_spec(kValidCampaign);
+  const std::vector<Job> jobs = expand_jobs(campaign);
+  ASSERT_EQ(jobs.size(), campaign.num_jobs());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+  }
+  // Scenario a: n=8 × density {1.0, 2.0} × seeds {0,1,2,10,11}; then b.
+  EXPECT_EQ(jobs[0].scenario_index, 0u);
+  EXPECT_EQ(jobs[0].n, 8u);
+  EXPECT_DOUBLE_EQ(jobs[0].density, 1.0);
+  EXPECT_EQ(jobs[0].seed, 0u);
+  EXPECT_EQ(jobs[3].seed, 10u);  // second range follows the first
+  EXPECT_DOUBLE_EQ(jobs[5].density, 2.0);
+  EXPECT_EQ(jobs[10].scenario_index, 1u);
+  EXPECT_EQ(jobs[10].n, 9u);
+}
+
+TEST(EngineSpec, JobSeedsAreContentDerived) {
+  // Distinct jobs get distinct streams…
+  const CampaignSpec campaign = parse_campaign_spec(kValidCampaign);
+  const std::vector<Job> jobs = expand_jobs(campaign);
+  std::set<std::uint64_t> seeds;
+  for (const Job& job : jobs) seeds.insert(job.rng_seed);
+  EXPECT_EQ(seeds.size(), jobs.size());
+  // …the derivation ignores expansion position (only content matters)…
+  EXPECT_EQ(job_rng_seed(7, "a", 8, 2.0, 11), jobs[9].rng_seed);
+  // …and every input participates.
+  const std::uint64_t base = job_rng_seed(1, "a", 8, 1.0, 0);
+  EXPECT_NE(base, job_rng_seed(2, "a", 8, 1.0, 0));
+  EXPECT_NE(base, job_rng_seed(1, "b", 8, 1.0, 0));
+  EXPECT_NE(base, job_rng_seed(1, "a", 9, 1.0, 0));
+  EXPECT_NE(base, job_rng_seed(1, "a", 8, 1.5, 0));
+  EXPECT_NE(base, job_rng_seed(1, "a", 8, 1.0, 1));
+}
+
+TEST(EngineSpec, LoadRejectsMissingFile) {
+  EXPECT_THROW(static_cast<void>(load_campaign_spec("/nonexistent/spec.json")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -1,4 +1,5 @@
-// Unit tests for the minimal JSON writer used by experiment records.
+// Unit tests for the minimal JSON writer and strict parser used by
+// experiment records and the scenario engine's spec/artifact round trips.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
@@ -100,6 +101,124 @@ TEST(Json, Uint64Boundary) {
   const std::string out =
       compact([](JsonWriter& w) { w.value(std::uint64_t{18446744073709551615ULL}); });
   EXPECT_EQ(out, "18446744073709551615");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_EQ(parse_json("0").as_int(), 0);
+  EXPECT_DOUBLE_EQ(parse_json("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_json("-2e3").as_double(), -2000.0);
+  EXPECT_EQ(parse_json("\"spider\"").as_string(), "spider");
+  EXPECT_EQ(parse_json("  \t\n 9 \r ").as_int(), 9);
+}
+
+TEST(JsonParse, IntegerIdentityPreserved) {
+  // Integral tokens stay exact int64; as_double still works on them.
+  const JsonValue big = parse_json("9007199254740993");  // 2^53 + 1
+  EXPECT_TRUE(big.is_int());
+  EXPECT_EQ(big.as_int(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(parse_json("3").as_double(), 3.0);
+  EXPECT_FALSE(parse_json("3.0").is_int());
+  // Magnitudes past int64 degrade to double instead of failing.
+  EXPECT_TRUE(parse_json("98765432109876543210").is_number());
+}
+
+TEST(JsonParse, Structures) {
+  const JsonValue v = parse_json(R"({"n":12,"grid":[1,2.5,"x"],"meta":{"ok":true}})");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at("n").as_uint(), 12u);
+  EXPECT_EQ(v.at("grid").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("grid").items()[1].as_double(), 2.5);
+  EXPECT_EQ(v.at("grid").items()[2].as_string(), "x");
+  EXPECT_TRUE(v.at("meta").at("ok").as_bool());
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(static_cast<void>(v.at("absent")), std::invalid_argument);
+  // Member order is the source order.
+  EXPECT_EQ(v.members()[0].first, "n");
+  EXPECT_EQ(v.members()[2].first, "meta");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te\u0041")").as_string(), "a\"b\\c\nd\teA");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, WriterRoundTrip) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object()
+        .field("name", "tree_sum")
+        .field("ratio", 1.25)
+        .field("n", 301)
+        .key("seeds")
+        .begin_array()
+        .value(0)
+        .value(1)
+        .end_array()
+        .end_object();
+  });
+  const JsonValue v = parse_json(out);
+  EXPECT_EQ(v.at("name").as_string(), "tree_sum");
+  EXPECT_DOUBLE_EQ(v.at("ratio").as_double(), 1.25);
+  EXPECT_EQ(v.at("n").as_int(), 301);
+  EXPECT_EQ(v.at("seeds").items().size(), 2u);
+}
+
+TEST(JsonParse, MalformedInputsRejected) {
+  for (const char* bad : {
+           "",            // empty
+           "{",           // unterminated object
+           "[1,2",        // unterminated array
+           "[1,]",        // trailing comma
+           "{\"a\":}",    // missing value
+           "{\"a\" 1}",   // missing colon
+           "{1:2}",       // non-string key
+           "\"abc",       // unterminated string
+           "\"\\q\"",     // bad escape
+           "\"\\u12g4\"", // bad hex digit
+           "01",          // leading zero
+           "1.",          // digits must follow '.'
+           "1e",          // digits must follow exponent
+           "+1",          // no leading plus
+           "tru",         // truncated literal
+           "nul",         // truncated literal
+           "1 2",         // trailing value
+           "{} []",       // two top-level values
+       }) {
+    EXPECT_THROW(static_cast<void>(parse_json(bad)), JsonParseError) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, DuplicateKeysRejected) {
+  EXPECT_THROW(static_cast<void>(parse_json(R"({"a":1,"a":2})")), JsonParseError);
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  try {
+    static_cast<void>(parse_json("{\n  \"a\": flase\n}"));
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+  }
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const JsonValue v = parse_json(R"({"flag":true,"neg":-1})");
+  EXPECT_THROW(static_cast<void>(v.at("flag").as_int()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(v.at("flag").as_string()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(v.at("neg").as_uint()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(v.items()), std::invalid_argument);
+}
+
+TEST(JsonParse, DeepNestingRejected) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(static_cast<void>(parse_json(deep)), JsonParseError);
 }
 
 }  // namespace

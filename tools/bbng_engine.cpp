@@ -1,0 +1,153 @@
+// bbng_engine — the scenario engine's command-line front end.
+//
+//   bbng_engine validate   --spec examples/specs/tree_sum.json
+//   bbng_engine run        --spec ... --output campaign.jsonl [--threads 0]
+//   bbng_engine resume     --spec ... --output campaign.jsonl
+//   bbng_engine list-tasks
+//
+// `run` executes a declarative campaign sharded across a thread pool and
+// streams one JSON record per game instance into the output JSONL (header
+// line first, then jobs in id order), checkpointing a manifest alongside.
+// `resume` continues an interrupted campaign from its manifest; the
+// completed artifact is byte-identical to an uninterrupted run at any
+// thread count. `--halt-after N` simulates a kill after N committed jobs
+// (used by CI to exercise the resume path).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
+#include "engine/tasks.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::fputs(
+      "usage: bbng_engine <run|resume|validate|list-tasks> [options]\n"
+      "  run        execute a campaign spec into a JSONL artifact\n"
+      "  resume     continue an interrupted campaign from its checkpoint\n"
+      "  validate   parse + validate a spec, print the job budget\n"
+      "  list-tasks describe the available task kinds\n"
+      "options are per subcommand; see `bbng_engine <subcommand> --help`.\n",
+      code == 0 ? stdout : stderr);
+  return code;
+}
+
+void print_campaign(const bbng::CampaignSpec& campaign) {
+  std::cout << "campaign \"" << campaign.name << "\": " << campaign.scenarios.size()
+            << " scenario(s), " << campaign.num_jobs() << " job(s), base_seed "
+            << campaign.base_seed << "\n";
+  for (const auto& scenario : campaign.scenarios) {
+    std::cout << "  " << scenario.name << ": task " << to_string(scenario.task) << ", "
+              << to_string(scenario.version) << ", generator "
+              << to_string(scenario.generator) << ", " << scenario.num_jobs() << " job(s)\n";
+  }
+}
+
+void print_report(const char* verb, const bbng::RunReport& report,
+                  const bbng::RunnerConfig& config) {
+  std::cout << verb << ": committed " << report.committed << "/" << report.total_jobs
+            << " job(s) (" << report.executed << " executed now, "
+            << report.committed_before << " inherited), " << report.checkpoints
+            << " checkpoint(s), " << report.seconds << " s\n";
+  if (report.completed) {
+    std::cout << "artifact: " << config.output_path << "\n";
+    if (config.write_summary) {
+      std::cout << "summary:  " << bbng::summary_path_for(config.output_path) << "\n";
+    }
+  } else {
+    std::cout << "halted before completion; continue with: bbng_engine resume --spec <spec> "
+              << "--output " << config.output_path << "\n";
+  }
+}
+
+int run_or_resume(bool resume, int argc, const char** argv) {
+  bbng::Cli cli(resume ? "bbng_engine resume" : "bbng_engine run",
+                resume ? "continue an interrupted campaign from its checkpoint manifest"
+                       : "execute a campaign spec into a JSONL artifact");
+  const auto spec_path = cli.add_string("spec", "", "campaign spec (JSON)");
+  const auto output = cli.add_string("output", "", "output JSONL artifact path");
+  const auto threads = cli.add_int("threads", 1, "pool width; 0 = hardware concurrency");
+  const auto checkpoint_every = cli.add_int("checkpoint-every", 64,
+                                            "manifest cadence in committed jobs");
+  const auto window = cli.add_int("window", 0, "in-flight job bound; 0 = 4x pool width");
+  const auto halt_after = cli.add_int("halt-after", 0,
+                                      "simulate a kill after N total committed jobs");
+  const auto force = cli.add_flag("force", "overwrite an existing artifact (run only)");
+  const auto no_summary = cli.add_flag("no-summary", "skip the .summary.json aggregation");
+  cli.parse(argc, argv);
+
+  if (spec_path->empty() || output->empty()) {
+    std::cerr << "error: --spec and --output are required\n" << cli.usage();
+    return 2;
+  }
+  // Guard the int→unsigned conversions: a negative value must not wrap into
+  // a 4-billion-thread pool or a 2^64 job window.
+  const auto checked = [](std::int64_t value, const char* name) {
+    if (value < 0) {
+      throw std::invalid_argument(std::string("--") + name + " must be non-negative");
+    }
+    return static_cast<std::uint64_t>(value);
+  };
+  if (*threads > 4096) throw std::invalid_argument("--threads larger than 4096 is implausible");
+  std::string spec_text;
+  const bbng::CampaignSpec campaign = bbng::load_campaign_spec(*spec_path, &spec_text);
+
+  bbng::RunnerConfig config;
+  config.output_path = *output;
+  config.threads = static_cast<unsigned>(checked(*threads, "threads"));
+  config.checkpoint_every = checked(*checkpoint_every, "checkpoint-every");
+  config.window = checked(*window, "window");
+  config.halt_after = checked(*halt_after, "halt-after");
+  config.overwrite = *force;
+  config.write_summary = !*no_summary;
+
+  const bbng::RunReport report = resume
+                                     ? bbng::resume_campaign(campaign, spec_text, config)
+                                     : bbng::run_campaign(campaign, spec_text, config);
+  print_report(resume ? "resume" : "run", report, config);
+  return 0;
+}
+
+int validate(int argc, const char** argv) {
+  bbng::Cli cli("bbng_engine validate", "parse + validate a campaign spec");
+  const auto spec_path = cli.add_string("spec", "", "campaign spec (JSON)");
+  cli.parse(argc, argv);
+  if (spec_path->empty()) {
+    std::cerr << "error: --spec is required\n" << cli.usage();
+    return 2;
+  }
+  print_campaign(bbng::load_campaign_spec(*spec_path));
+  std::cout << "spec OK\n";
+  return 0;
+}
+
+int list_tasks() {
+  for (const auto& [name, description] : bbng::list_tasks()) {
+    std::cout << name << "\n    " << description << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string subcommand = argv[1];
+  try {
+    // Each subcommand parses the remaining options itself (argv[1] takes the
+    // program-name slot of its Cli).
+    if (subcommand == "run") return run_or_resume(false, argc - 1, argv + 1);
+    if (subcommand == "resume") return run_or_resume(true, argc - 1, argv + 1);
+    if (subcommand == "validate") return validate(argc - 1, argv + 1);
+    if (subcommand == "list-tasks") return list_tasks();
+    if (subcommand == "--help" || subcommand == "-h" || subcommand == "help") return usage(0);
+    std::cerr << "error: unknown subcommand \"" << subcommand << "\"\n";
+    return usage(2);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
