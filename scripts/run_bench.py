@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run the delta-eval perf benches and record the trajectory as JSON.
+"""Run the perf benches and record the trajectories as JSON.
 
 Runs ``bench_delta_eval`` (incremental vs naive swap evaluation) and
 ``bench_best_response`` (solver-ladder sanity) from a build directory and
@@ -9,12 +9,18 @@ writes ``BENCH_delta_eval.json`` with one row per (family, n, version):
      "naive_ms": ..., "incremental_ms": ..., "speedup": ...,
      "bfs_avoided_pct": ...}
 
-The JSON is the repo's perf trajectory for the dynamic-BFS oracle: CI runs
-this at a small n and uploads the artifact; release-sized numbers are
-committed at the repo root whenever the oracle changes. The payload's
-"host" block records where the numbers were measured (host_threads,
-compiler, build type, git SHA) so single-core CI artifacts are never
-misread as calibrated speedups.
+With ``--solver-output PATH`` it additionally runs ``bench_solver`` (the
+certified branch-and-bound vs enumeration, plus the portfolio gap) and
+writes ``BENCH_solver.json`` with one row per (n, version): nodes
+explored/pruned vs enumeration candidates, per-backend wall-clock, and the
+exact-vs-portfolio / exact-vs-swap gaps.
+
+The JSON files are the repo's perf trajectory: CI runs this at small sizes
+and uploads the artifacts; release-sized numbers are committed at the repo
+root whenever the measured subsystem changes. Each payload's "host" block
+records where the numbers were measured (host_threads, compiler, build
+type, git SHA) so single-core CI artifacts are never misread as calibrated
+speedups.
 
 Fails loudly: a missing, crashing, or check-failing bench exits non-zero
 *without* writing the output file — a partial artifact is worse than none.
@@ -22,6 +28,9 @@ Fails loudly: a missing, crashing, or check-failing bench exits non-zero
 Usage:
     python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
                                  [--min-n 128] [--max-n 1024] [--players 24] [--seed 1]
+                                 [--solver-output BENCH_solver.json]
+                                 [--solver-min-n 10] [--solver-max-n 18]
+                                 [--solver-instances 12]
 """
 
 import argparse
@@ -100,6 +109,14 @@ def main():
     parser.add_argument("--max-n", type=int, default=1024)
     parser.add_argument("--players", type=int, default=24)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--solver-output",
+        default="",
+        help="also run bench_solver and write this JSON (empty = skip)",
+    )
+    parser.add_argument("--solver-min-n", type=int, default=10)
+    parser.add_argument("--solver-max-n", type=int, default=18)
+    parser.add_argument("--solver-instances", type=int, default=12)
     args = parser.parse_args()
     build = pathlib.Path(args.build_dir)
 
@@ -150,6 +167,58 @@ def main():
     best = max((r["speedup"] for r in rows if r["n"] >= 512), default=None)
     if best is not None:
         print(f"best speedup at n >= 512: {best:.2f}x")
+
+    if args.solver_output:
+        solver_out = run_binary(
+            build / "bench_solver",
+            [
+                "--csv",
+                "--min-n", str(args.solver_min_n),
+                "--max-n", str(args.solver_max_n),
+                "--instances", str(args.solver_instances),
+                "--seed", str(args.seed),
+            ],
+        )
+        solver_rows = []
+        for record in parse_csv_table(solver_out, "n"):
+            solver_rows.append(
+                {
+                    "n": int(record["n"]),
+                    "version": record["version"],
+                    "queries": int(record["queries"]),
+                    "enum_candidates": int(record["enum_candidates"]),
+                    "bb_nodes": int(record["bb_nodes"]),
+                    "bb_pruned": int(record["bb_pruned"]),
+                    "prune_ratio": float(record["prune_ratio"]),
+                    "enum_ms": float(record["enum_ms"]),
+                    "bb_ms": float(record["bb_ms"]),
+                    "portfolio_ms": float(record["portfolio_ms"]),
+                    "portfolio_gap_pct": float(record["portfolio_gap_pct"]),
+                    "swap_gap_pct": float(record["swap_gap_pct"]),
+                    "portfolio_optimal_pct": float(record["portfolio_optimal_pct"]),
+                }
+            )
+        if not solver_rows:
+            print("error: no CSV rows parsed from bench_solver output:", file=sys.stderr)
+            print(solver_out, file=sys.stderr)
+            sys.exit(2)
+        solver_payload = {
+            "bench": "solver",
+            "host": host_metadata(build),
+            "config": {
+                "min_n": args.solver_min_n,
+                "max_n": args.solver_max_n,
+                "instances": args.solver_instances,
+                "seed": args.seed,
+            },
+            "rows": solver_rows,
+        }
+        pathlib.Path(args.solver_output).write_text(
+            json.dumps(solver_payload, indent=2) + "\n"
+        )
+        print(f"wrote {args.solver_output} ({len(solver_rows)} rows)")
+        worst = max(r["portfolio_gap_pct"] for r in solver_rows)
+        print(f"worst mean portfolio gap: {worst:.2f}%")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,13 @@
 #include "engine/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <string>
 
 #include "engine/jobgraph.hpp"
 #include "engine/sinks.hpp"
@@ -103,15 +107,47 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
     ++report.checkpoints;
   };
 
+  // Progress goes to stderr (stdout and the artifact stay byte-clean) and is
+  // reported from the workers as jobs *complete*, so a window of slow jobs
+  // still speaks before its ordered commit. The ETA extrapolates this
+  // invocation's completion rate over the remaining jobs. The mutex both
+  // serialises concurrent reporters and guards last_progress.
+  std::mutex progress_mutex;
+  double last_progress = 0;
+  const auto maybe_report_progress = [&](std::uint64_t computed) {
+    if (!config.progress) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    const double elapsed = timer.elapsed_seconds();
+    if (elapsed - last_progress < std::max(0.0, config.progress_interval_seconds)) return;
+    last_progress = elapsed;
+    const std::uint64_t fresh = computed - report.committed_before;
+    const std::uint64_t remaining = report.total_jobs - computed;
+    std::string eta = "?";
+    if (fresh > 0 && elapsed > 0) {
+      const double rate = static_cast<double>(fresh) / elapsed;
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.1fs", static_cast<double>(remaining) / rate);
+      eta = buffer;
+    }
+    std::fprintf(stderr, "progress: %llu/%llu jobs (%.1f%%), %.1fs elapsed, eta %s\n",
+                 static_cast<unsigned long long>(computed),
+                 static_cast<unsigned long long>(report.total_jobs),
+                 100.0 * static_cast<double>(computed) /
+                     static_cast<double>(std::max<std::uint64_t>(1, report.total_jobs)),
+                 elapsed, eta.c_str());
+  };
+
   bool halted = false;
   while (report.committed < report.total_jobs && !halted) {
     const std::uint64_t begin = report.committed;
     // min() before the addition so a huge window cannot overflow begin+window.
     const std::uint64_t end = begin + std::min(window, report.total_jobs - begin);
     std::vector<std::string> lines(end - begin);
+    std::atomic<std::uint64_t> window_done{0};
     pool.run_chunked(end - begin, 1, [&](std::uint64_t lo, std::uint64_t hi) {
       for (std::uint64_t i = lo; i < hi; ++i) {
         lines[i] = run_job_line(campaign, jobs[begin + i]);
+        maybe_report_progress(begin + window_done.fetch_add(1, std::memory_order_relaxed) + 1);
       }
     });
     report.executed += end - begin;

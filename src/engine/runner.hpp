@@ -32,6 +32,14 @@ struct RunnerConfig {
   std::uint64_t halt_after = 0;
   bool overwrite = false;            ///< allow `run` to clobber an existing artifact
   bool write_summary = true;         ///< emit `<output>.summary.json` on completion
+  /// Print periodic progress (jobs done/total, rate, ETA) to stderr so long
+  /// campaigns are not silent. Reported from workers as jobs complete (not
+  /// just at commit), so a window of slow jobs still speaks; only a single
+  /// job running longer than the interval keeps stderr quiet that long.
+  /// stderr only — stdout and the artifact stay byte-clean. The CLI turns
+  /// this on unless --quiet.
+  bool progress = false;
+  double progress_interval_seconds = 1.0;  ///< min seconds between lines
 };
 
 struct RunReport {

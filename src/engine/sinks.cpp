@@ -1,5 +1,6 @@
 #include "engine/sinks.hpp"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -115,10 +116,35 @@ struct ScenarioAccumulator {
   }
 };
 
-void emit_summary_stats(JsonWriter& writer, const Summary& summary) {
+/// Above this sample count the CLT normal approximation matches the
+/// bootstrap to well within its own resampling noise, at O(count) instead
+/// of O(resamples · count) — a million-record scenario must not stall
+/// campaign completion (and every resume) on summary statistics.
+constexpr std::size_t kBootstrapMaxSamples = 10'000;
+
+void emit_summary_stats(JsonWriter& writer, const std::vector<double>& values) {
+  const Summary summary = summarize(values);
+  // Bare means mislead at campaign sample sizes, so every numeric field
+  // carries a 95% interval for its mean: a deterministic percentile
+  // bootstrap (fixed seed → byte-stable summaries) where samples are few
+  // and normality is doubtful, the normal approximation past the threshold.
+  double lower = summary.mean;
+  double upper = summary.mean;
+  if (summary.count > 0 && summary.count <= kBootstrapMaxSamples) {
+    const BootstrapCi ci = bootstrap_mean_ci(values);
+    lower = ci.lower;
+    upper = ci.upper;
+  } else if (summary.count > 0) {
+    const double half =
+        1.959963984540054 * summary.stddev / std::sqrt(static_cast<double>(summary.count));
+    lower = summary.mean - half;
+    upper = summary.mean + half;
+  }
   writer.begin_object()
       .field("count", static_cast<std::uint64_t>(summary.count))
       .field("mean", summary.mean)
+      .field("ci95_lower", lower)
+      .field("ci95_upper", upper)
       .field("min", summary.min)
       .field("max", summary.max)
       .field("median", summary.median)
@@ -181,7 +207,7 @@ void write_summary_file(const std::string& jsonl_path, const std::string& summar
     writer.key("numbers").begin_object();
     for (const auto& [key, values] : scenario.numbers) {
       writer.key(key);
-      emit_summary_stats(writer, summarize(values));
+      emit_summary_stats(writer, values);
     }
     writer.end_object();
     writer.key("bool_true_counts").begin_object();

@@ -5,8 +5,12 @@
 // fingerprint, host metadata). This module reads such files back via the
 // strict util/json parser — the engine eats its own dog food — and distils
 // them into a `.summary.json`: per scenario, a util/stats Summary of every
-// numeric field, true-counts of every boolean field, and value-counts of
-// every string field. The summary is recomputed from the committed JSONL at
+// numeric field plus a 95% confidence interval of its mean — bare means
+// mislead at campaign sample sizes. The interval is a deterministic
+// percentile bootstrap up to 10k samples (byte-stable via a fixed seed) and
+// the O(count) normal approximation beyond, so summaries never stall a
+// million-record campaign. Also true-counts of every boolean field and
+// value-counts of every string field. The summary is recomputed from the committed JSONL at
 // campaign completion, so an interrupted-and-resumed run summarises exactly
 // what an uninterrupted one would.
 #pragma once

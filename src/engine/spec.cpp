@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "solver/registry.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -18,6 +19,7 @@ std::string to_string(TaskKind kind) {
     case TaskKind::SwapEquilibrium: return "swap_equilibrium";
     case TaskKind::Poa: return "poa";
     case TaskKind::Audit: return "audit";
+    case TaskKind::NashAudit: return "nash_audit";
   }
   return "?";
 }
@@ -41,6 +43,12 @@ std::string to_string(BudgetFamily family) {
     case BudgetFamily::Random: return "random";
   }
   return "?";
+}
+
+std::string default_solver(TaskKind task) {
+  // nash_audit exists to certify; everything else keeps the bit-compatible
+  // legacy ladder.
+  return task == TaskKind::NashAudit ? "exact_bb" : "swap";
 }
 
 std::uint64_t ScenarioSpec::seed_count() const noexcept {
@@ -87,8 +95,9 @@ TaskKind parse_task(const std::string& text, const std::string& where) {
   if (text == "swap_equilibrium") return TaskKind::SwapEquilibrium;
   if (text == "poa") return TaskKind::Poa;
   if (text == "audit") return TaskKind::Audit;
+  if (text == "nash_audit") return TaskKind::NashAudit;
   spec_error(where, "unknown task \"" + text +
-                        "\" (expected dynamics|swap_equilibrium|poa|audit)");
+                        "\" (expected dynamics|swap_equilibrium|poa|audit|nash_audit)");
 }
 
 CostVersion parse_version(const std::string& text, const std::string& where) {
@@ -170,6 +179,17 @@ std::vector<SeedRange> parse_seeds(const JsonValue& value, const std::string& wh
   return ranges;  // original order (it is part of the job expansion order)
 }
 
+void parse_solver_budget(const JsonValue& object, TaskParams& params, const std::string& where) {
+  if (!object.is_object()) spec_error(where, "solver_budget must be an object");
+  reject_unknown_keys(object, {"node_limit", "deadline_ms"}, where + " solver_budget");
+  if (const JsonValue* node_limit = object.find("node_limit"); node_limit != nullptr) {
+    params.solver_node_limit = node_limit->as_uint();
+  }
+  if (const JsonValue* deadline = object.find("deadline_ms"); deadline != nullptr) {
+    params.solver_deadline_ms = deadline->as_uint();
+  }
+}
+
 TaskParams parse_params(const JsonValue* object, TaskKind task, const std::string& where) {
   TaskParams params;
   if (object == nullptr) return params;
@@ -178,13 +198,17 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
   switch (task) {
     case TaskKind::Dynamics:
     case TaskKind::Poa:
-      known = {"max_rounds", "exact_limit", "schedule", "policy", "incremental"};
+      known = {"max_rounds", "exact_limit", "schedule", "policy", "incremental",
+               "solver",     "solver_budget"};
       break;
     case TaskKind::SwapEquilibrium:
       known = {"incremental"};
       break;
     case TaskKind::Audit:
       known = {"exact_limit", "swap_limit", "compute_connectivity"};
+      break;
+    case TaskKind::NashAudit:
+      known = {"incremental", "solver", "solver_budget"};
       break;
   }
   for (const auto& [key, value] : object->members()) {
@@ -206,6 +230,26 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
       params.incremental = value.as_bool();
     } else if (key == "compute_connectivity") {
       params.compute_connectivity = value.as_bool();
+    } else if (key == "solver") {
+      params.solver = value.as_string();
+      try {
+        (void)find_solver(params.solver);  // one authoritative error message
+      } catch (const std::invalid_argument& error) {
+        spec_error(where, error.what());
+      }
+    } else if (key == "solver_budget") {
+      parse_solver_budget(value, params, where);
+    }
+  }
+  // A deadline aimed at a backend without a preemption point would be a
+  // silent no-op — ask the backend itself and reject at validate time.
+  if (params.solver_deadline_ms > 0) {
+    const std::string effective =
+        params.solver.empty() ? default_solver(task) : params.solver;
+    if (!find_solver(effective).supports_deadline()) {
+      spec_error(where, "solver_budget.deadline_ms is not supported by the \"" + effective +
+                            "\" backend (no preemption point); pick a deadline-capable "
+                            "solver such as \"exact_bb\" or \"portfolio\"");
     }
   }
   return params;

@@ -27,6 +27,7 @@ enum class TaskKind {
   SwapEquilibrium,  ///< verify single-head swap stability of the start state
   Poa,              ///< dynamics to rest, then bracket the PoA contribution
   Audit,            ///< full StateAudit of the generated state
+  NashAudit,        ///< certified Nash/ε-Nash verdict via the solver registry
 };
 
 /// How the initial realization is produced.
@@ -50,6 +51,11 @@ enum class BudgetFamily {
 [[nodiscard]] std::string to_string(GeneratorKind kind);
 [[nodiscard]] std::string to_string(BudgetFamily family);
 
+/// Registry backend a task uses when params.solver is empty — the single
+/// source both validation and the task adapters consult, so accept/reject
+/// decisions and runtime behaviour cannot drift apart.
+[[nodiscard]] std::string default_solver(TaskKind task);
+
 /// Half-open seed interval [begin, end).
 struct SeedRange {
   std::uint64_t begin = 0;
@@ -64,9 +70,19 @@ struct TaskParams {
   std::uint64_t exact_limit = 20'000;   ///< dynamics, poa, audit
   Schedule schedule = Schedule::RoundRobin;          ///< dynamics, poa
   MovePolicy policy = MovePolicy::BestResponse;      ///< dynamics, poa
-  bool incremental = true;              ///< dynamics, poa, swap_equilibrium
+  bool incremental = true;              ///< dynamics, poa, swap_equilibrium, nash_audit
   std::uint64_t swap_limit = 2'000'000; ///< audit
   bool compute_connectivity = false;    ///< audit (κ costs O(n) max-flows)
+  /// Solver-registry backend answering best-response queries (dynamics, poa,
+  /// nash_audit). Empty = the task default: "swap" for dynamics/poa,
+  /// "exact_bb" for nash_audit. Validated against the registry at parse time.
+  std::string solver;
+  /// "solver_budget" object: per-query work cap (backend-specific nodes;
+  /// 0 = task default) and wall-clock deadline in ms (0 = none; non-zero
+  /// deadlines trade byte-reproducibility for latency, so specs meant for
+  /// byte-identical artifacts should leave it 0).
+  std::uint64_t solver_node_limit = 0;
+  std::uint64_t solver_deadline_ms = 0;
 };
 
 struct ScenarioSpec {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "facility/kmedian.hpp"
+#include "game/strategy_eval.hpp"
 #include "graph/generators.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace bbng {
 
@@ -52,6 +55,38 @@ FacilitySolution solve_facility_via_best_response(const UGraph& h, std::uint32_t
   solution.objective = facility_value_from_cost(instance, version, br.cost);
   solution.evaluated = br.evaluated;
   return solution;
+}
+
+std::vector<Vertex> facility_seed_strategy(const Digraph& g, Vertex player, CostVersion version,
+                                           std::uint64_t seed) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(player < n);
+  const std::uint32_t k = g.out_degree(player);
+  BBNG_REQUIRE_MSG(k >= 1, "facility seeding needs a positive budget");
+
+  // Compact base graph: underlying(G) minus the player's edges, with the
+  // player's (isolated) slot removed so the facility solvers never try to
+  // cover it. compact id = id - (id > player).
+  const UGraph base = best_response_base(g, player);
+  UGraph h(n - 1);
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == player) continue;
+    const Vertex cu = u > player ? u - 1 : u;
+    for (const Vertex v : base.neighbors(u)) {
+      const Vertex cv = v > player ? v - 1 : v;
+      if (cv > cu) h.add_edge(cu, cv);
+    }
+  }
+
+  Rng rng(seed);
+  const FacilitySolution solution = version == CostVersion::Max
+                                        ? greedy_kcenter(h, k, rng)
+                                        : local_search_kmedian(h, k, rng);
+  std::vector<Vertex> heads;
+  heads.reserve(solution.centers.size());
+  for (const Vertex c : solution.centers) heads.push_back(c >= player ? c + 1 : c);
+  std::sort(heads.begin(), heads.end());
+  return heads;
 }
 
 }  // namespace bbng

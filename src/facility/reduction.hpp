@@ -44,4 +44,15 @@ struct ReductionInstance {
     const UGraph& h, std::uint32_t k, CostVersion version,
     std::uint64_t exact_limit = 2'000'000);
 
+/// The reduction run *backwards*: seed a strategy for `player` in `g` by
+/// solving the facility problem its best response is equivalent to
+/// (Theorem 2.1) — local-search k-median for SUM, Gonzalez k-center for MAX
+/// — on the player's base graph with the player's slot compacted away. The
+/// returned heads are a heuristic construction (sorted, exactly b_player of
+/// them), meant as a starting point for swap descent; `seed` makes the
+/// facility heuristics' randomness reproducible. Requires b_player ≥ 1.
+[[nodiscard]] std::vector<Vertex> facility_seed_strategy(const Digraph& g, Vertex player,
+                                                         CostVersion version,
+                                                         std::uint64_t seed);
+
 }  // namespace bbng

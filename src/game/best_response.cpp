@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "parallel/parallel_for.hpp"
+#include "solver/registry.hpp"
 #include "util/combinatorics.hpp"
 
 namespace bbng {
@@ -242,21 +243,11 @@ BestResponse BestResponseSolver::swap_improve(const Digraph& g, Vertex u,
 }
 
 BestResponse BestResponseSolver::solve(const Digraph& g, Vertex u, ThreadPool* pool) const {
-  if (exact_feasible(g, u)) return exact(g, u, pool);
-  BestResponse coarse = greedy(g, u);
-  BestResponse refined = swap_improve(g, u, coarse.strategy);
-  refined.evaluated += coarse.evaluated;
-  refined.bfs_avoided += coarse.bfs_avoided;
-  if (coarse.cost < refined.cost) {
-    refined.strategy = std::move(coarse.strategy);
-    refined.cost = coarse.cost;
-  }
-  // A heuristic must never recommend a deviation worse than staying put.
-  if (refined.cost >= refined.current_cost) {
-    refined.strategy.assign(g.out_neighbors(u).begin(), g.out_neighbors(u).end());
-    refined.cost = refined.current_cost;
-  }
-  return refined;
+  // The ladder body lives in the solver registry's "swap" backend
+  // (solver/swap_ladder.hpp), so this entry point and every registry
+  // consumer share one bit-identical implementation.
+  const SolverBudget budget{/*deadline_seconds=*/0, /*node_limit=*/exact_limit_, incremental_};
+  return to_best_response(find_solver("swap").solve(g, u, version_, budget, pool));
 }
 
 }  // namespace bbng

@@ -6,6 +6,7 @@
 
 #include "game/cost.hpp"
 #include "game/strategy_eval.hpp"
+#include "solver/registry.hpp"
 
 namespace bbng {
 namespace {
@@ -51,7 +52,15 @@ std::optional<std::vector<Vertex>> first_improving_swap(const Digraph& g, Vertex
 DynamicsResult run_best_response_dynamics(const Digraph& initial, const DynamicsConfig& config,
                                           ThreadPool* pool) {
   const std::uint32_t n = initial.num_vertices();
-  const BestResponseSolver solver(config.version, config.exact_limit, config.incremental);
+  const BestResponseBackend& solver = find_solver(config.solver);
+  const SolverBudget budget{
+      config.solver_deadline_seconds,
+      config.solver_node_limit > 0 ? config.solver_node_limit : config.exact_limit,
+      config.incremental};
+  // Certified backends answer identical queries during a run (a player whose
+  // relevant neighbourhood did not change between visits); the cache makes
+  // those hits free.
+  TranspositionCache cache;
   Rng rng(config.seed);
 
   DynamicsResult result;
@@ -85,10 +94,10 @@ DynamicsResult run_best_response_dynamics(const Digraph& initial, const Dynamics
         next_strategy = std::move(*swap);
         ++result.evaluations;
       } else {
-        const BestResponse br = solver.solve(result.graph, u, pool);
+        const SolverResult br = solver.solve(result.graph, u, config.version, budget, pool, &cache);
         result.evaluations += br.evaluated;
         result.bfs_avoided += br.bfs_avoided;
-        result.all_moves_exact = result.all_moves_exact && br.exact;
+        result.all_moves_exact = result.all_moves_exact && br.optimal;
         if (!br.improves()) continue;
         next_strategy = br.strategy;
       }

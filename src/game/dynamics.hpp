@@ -7,14 +7,18 @@
 // improvement cycles (a previously seen state recurs — only meaningful
 // under deterministic schedules).
 //
-// Per move the engine uses the exact solver when the player's candidate
-// space fits `exact_limit`, and greedy+swap otherwise; `DynamicsResult::
-// all_moves_exact` records whether the run ever fell back, because a
+// Best-response moves are answered by a solver-registry backend selected by
+// name in the config (solver/registry.hpp): the default "swap" ladder uses
+// the exact solver when the player's candidate space fits `exact_limit` and
+// greedy+swap otherwise; "exact_bb" makes every move a certified best
+// response; "portfolio" races heuristics. `DynamicsResult::all_moves_exact`
+// records whether any move lacked an optimality certificate, because a
 // "converged" verdict is a Nash certificate only when every player's last
-// scan was exact.
+// scan was certified.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "game/best_response.hpp"
@@ -50,6 +54,20 @@ struct DynamicsConfig {
   /// Score moves through the incremental delta oracle (DeltaEvaluator);
   /// false forces the naive full-BFS path. Both produce identical runs.
   bool incremental = true;
+  /// Registry backend answering BestResponse moves ("swap" keeps the
+  /// pre-registry behaviour bit-for-bit). Validated at run start; unknown
+  /// names throw std::invalid_argument listing the registered ones.
+  std::string solver = "swap";
+  /// Backend work cap per move (exact_bb: search nodes, 0 = unlimited;
+  /// swap: the legacy exact-enumeration candidate cap, 0 disables exact).
+  /// 0 here falls back to `exact_limit` so existing configs keep their
+  /// exact meaning, including exact_limit = 0.
+  std::uint64_t solver_node_limit = 0;
+  /// Wall-clock cap per move; 0 = none. Honoured by exact_bb and portfolio;
+  /// the swap ladder has no preemption point and ignores it. Non-zero
+  /// deadlines make runs machine-dependent — leave 0 anywhere artifacts
+  /// must be reproducible.
+  double solver_deadline_seconds = 0;
 };
 
 struct DynamicsResult {

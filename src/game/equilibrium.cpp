@@ -1,11 +1,13 @@
 #include "game/equilibrium.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
 #include "game/cost.hpp"
 #include "graph/bfs.hpp"
 #include "parallel/parallel_for.hpp"
+#include "solver/registry.hpp"
 
 namespace bbng {
 
@@ -26,6 +28,38 @@ EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
     }
   }
   report.stable = true;
+  return report;
+}
+
+NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
+                                   const SolverBudget& budget, const std::string& solver,
+                                   ThreadPool* pool) {
+  const BestResponseBackend& backend = find_solver(solver);
+  NashReport report;
+  report.stable = true;
+  report.certified = true;
+  // No transposition cache: the canonical key embeds the player, and each
+  // player is solved exactly once per scan, so nothing could ever hit.
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const SolverResult result = backend.solve(g, u, version, budget, pool);
+    report.strategies_checked += result.evaluated;
+    report.nodes_explored += result.nodes_explored;
+    report.nodes_pruned += result.nodes_pruned;
+    report.bfs_avoided += result.bfs_avoided;
+    if (result.optimal) ++report.players_certified;
+    report.certified = report.certified && result.optimal;
+    if (result.improves()) {
+      const std::uint64_t regret = result.current_cost - result.cost;
+      if (report.stable) {
+        report.stable = false;
+        report.deviator = u;
+        report.improving_strategy = result.strategy;
+        report.old_cost = result.current_cost;
+        report.new_cost = result.cost;
+      }
+      report.epsilon = std::max(report.epsilon, regret);
+    }
+  }
   return report;
 }
 

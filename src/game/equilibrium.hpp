@@ -1,24 +1,31 @@
 // Equilibrium verification.
 //
 // verify_equilibrium() certifies a realization as a pure Nash equilibrium by
-// computing every player's exact best response (so it is only feasible when
-// every player's candidate count fits the solver's exact limit).
-// verify_swap_equilibrium() checks the weaker single-head-swap stability of
-// Section 6 (every Nash equilibrium is also a swap equilibrium), which is
-// polynomial and scales to the large constructions. Swap deviations are
-// scored through the incremental delta oracle (DeltaEvaluator) by default,
-// and the sweep is batched across players on a ThreadPool when one is given;
-// the naive sequential full-BFS path stays available for differential
-// testing and returns an identical verdict/deviator.
+// computing every player's exact best response via full enumeration (so it
+// is only feasible when every player's candidate count fits the solver's
+// exact limit). verify_nash_equilibrium() is its solver-subsystem successor:
+// it answers every player's query through a registry backend (the certified
+// branch-and-bound by default) under an anytime budget, scans *all* players,
+// and reports the maximum regret found — a certified Nash / ε-Nash verdict
+// rather than swap-stability. verify_swap_equilibrium() checks the weaker
+// single-head-swap stability of Section 6 (every Nash equilibrium is also a
+// swap equilibrium), which is polynomial and scales to the large
+// constructions. Swap deviations are scored through the incremental delta
+// oracle (DeltaEvaluator) by default, and the sweep is batched across
+// players on a ThreadPool when one is given; the naive sequential full-BFS
+// path stays available for differential testing and returns an identical
+// verdict/deviator.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "game/best_response.hpp"
 #include "game/game.hpp"
 #include "graph/digraph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "solver/solver.hpp"
 
 namespace bbng {
 
@@ -49,6 +56,39 @@ struct EquilibriumReport {
 [[nodiscard]] EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
                                                         ThreadPool* pool = nullptr,
                                                         bool incremental = true);
+
+/// Certified Nash / ε-Nash verdict from the solver subsystem.
+///
+/// Semantics: `stable` means the backend found no improving deviation for
+/// any player; it is a *Nash certificate* only when `certified` is also true
+/// (every per-player solve closed with an optimality certificate — always
+/// the case for "exact_bb" within budget). When `stable` is false the
+/// reported deviation is a certificate of non-equilibrium regardless of
+/// `certified`. `epsilon` is the largest additive regret found across
+/// players: exact when certified (0 ⇔ Nash; otherwise the state is an
+/// ε-Nash equilibrium for this ε and no smaller), a lower bound otherwise.
+struct NashReport {
+  bool stable = false;
+  bool certified = false;
+  Vertex deviator = 0;                     ///< first player with an improvement
+  std::vector<Vertex> improving_strategy;  ///< their cheaper strategy
+  std::uint64_t old_cost = 0;
+  std::uint64_t new_cost = 0;
+  std::uint64_t epsilon = 0;               ///< max additive regret across players
+  std::uint32_t players_certified = 0;     ///< per-player solves that closed
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t nodes_pruned = 0;
+  std::uint64_t strategies_checked = 0;    ///< candidate strategies scored
+  std::uint64_t bfs_avoided = 0;
+};
+
+/// Scan every player with the named registry backend (default: the
+/// certified branch-and-bound) under `budget` (per player). Throws
+/// std::invalid_argument on an unknown solver name.
+[[nodiscard]] NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
+                                                 const SolverBudget& budget = {},
+                                                 const std::string& solver = "exact_bb",
+                                                 ThreadPool* pool = nullptr);
 
 /// Lemma 2.2 sufficient condition: cMAX(u) == 1, or cMAX(u) ≤ 2 with u in no
 /// brace ⇒ u is playing a best response in BOTH versions. Returns the number

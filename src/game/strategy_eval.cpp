@@ -33,6 +33,17 @@ std::vector<Vertex> collect_in_neighbors(const Digraph& g, Vertex player) {
 
 }  // namespace
 
+UGraph best_response_base(const Digraph& g, Vertex player) {
+  UGraph base(g.num_vertices());
+  add_stripped_underlying(g, player, base);
+  return base;
+}
+
+std::vector<Vertex> player_in_neighbors(const Digraph& g, Vertex player) {
+  BBNG_REQUIRE(player < g.num_vertices());
+  return collect_in_neighbors(g, player);
+}
+
 StrategyEvaluator::StrategyEvaluator(const Digraph& g, Vertex player, CostVersion version)
     : player_(player), version_(version), n_(g.num_vertices()), base_(g.num_vertices()) {
   BBNG_REQUIRE(player < n_);

@@ -180,6 +180,17 @@ struct SwapScanResult {
   std::uint64_t bfs_avoided = 0;  ///< of those, served without a full BFS
 };
 
+/// The metric substrate both evaluators (and the solver subsystem's bound
+/// machinery) score candidates on: underlying(G) with every edge incident to
+/// `player` removed, so `player` is an isolated vertex. All u–v distances of
+/// a candidate strategy S factor through this graph as
+/// 1 + dist_base(S ∪ In(u), v).
+[[nodiscard]] UGraph best_response_base(const Digraph& g, Vertex player);
+
+/// Players owning an arc into `player` — the fixed half of the seed set that
+/// every candidate strategy of `player` inherits for free.
+[[nodiscard]] std::vector<Vertex> player_in_neighbors(const Digraph& g, Vertex player);
+
 /// True when swap-scanning `player` degrades the delta oracle to a full BFS
 /// per probe: with no in-arcs and at most one head, every scan position
 /// leaves an empty seed set, so each probe re-settles the player's whole

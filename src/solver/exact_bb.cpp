@@ -1,0 +1,436 @@
+#include "solver/exact_bb.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "game/strategy_eval.hpp"
+#include "graph/bfs.hpp"
+#include "util/timer.hpp"
+
+namespace bbng {
+namespace {
+
+constexpr std::uint64_t kInfCost = ~0ULL;
+
+/// Dominance + the full distance-table bounds need O(n²) memory and an O(n·m)
+/// precompute; above this size the search runs on the probe-based savings
+/// bound alone (it is hopeless that far out anyway — exact search is a
+/// small-instance tool).
+constexpr std::uint32_t kMatrixLimit = 2048;
+
+/// The O(n³)-worst-case pairwise dominance sweep is gated tighter.
+constexpr std::uint32_t kDominanceLimit = 256;
+
+/// Both scoring paths behind one probe/commit interface: the delta oracle
+/// (journaled trial probes; the production path) or the naive per-candidate
+/// multi-source BFS (differential testing). Identical costs either way.
+class NodeEval {
+ public:
+  NodeEval(const Digraph& g, Vertex player, CostVersion version, bool incremental)
+      : incremental_(incremental) {
+    if (incremental_) {
+      delta_.emplace(g, player, version);
+      current_cost_ = delta_->current_cost();
+      current_strategy_ = delta_->current_strategy();
+      // The search grows P from the empty set; strip the incumbent heads.
+      for (const Vertex h : current_strategy_) delta_->remove_head(h);
+    } else {
+      naive_.emplace(g, player, version);
+      scratch_.emplace(g.num_vertices());
+      current_cost_ = naive_->current_cost();
+      current_strategy_ = naive_->current_strategy();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t current_cost() const noexcept { return current_cost_; }
+  [[nodiscard]] const std::vector<Vertex>& current_strategy() const noexcept {
+    return current_strategy_;
+  }
+  [[nodiscard]] const std::vector<Vertex>& heads() const noexcept { return heads_; }
+
+  /// Cost of the present partial head set P.
+  [[nodiscard]] std::uint64_t cost() {
+    if (incremental_) return delta_->cost();
+    return naive_->evaluate(heads_, *scratch_);
+  }
+
+  /// Cost of P ∪ {t} without committing (delta path: one journaled trial).
+  [[nodiscard]] std::uint64_t probe(Vertex t) {
+    if (incremental_) return delta_->cost_with_head(t);
+    heads_.push_back(t);
+    const std::uint64_t c = naive_->evaluate(heads_, *scratch_);
+    heads_.pop_back();
+    return c;
+  }
+
+  void push(Vertex t) {
+    heads_.push_back(t);
+    if (incremental_) delta_->add_head(t);
+  }
+
+  void pop() {
+    BBNG_ASSERT(!heads_.empty());
+    if (incremental_) delta_->remove_head(heads_.back());
+    heads_.pop_back();
+  }
+
+  [[nodiscard]] std::uint64_t bfs_avoided() const noexcept {
+    return incremental_ ? delta_->bfs_avoided() : 0;
+  }
+
+ private:
+  bool incremental_;
+  std::optional<DeltaEvaluator> delta_;
+  std::optional<StrategyEvaluator> naive_;
+  std::optional<StrategyEvaluator::Scratch> scratch_;
+  std::vector<Vertex> heads_;  ///< the DFS path P (delta path mirrors it)
+  std::uint64_t current_cost_ = 0;
+  std::vector<Vertex> current_strategy_;
+};
+
+struct Candidate {
+  Vertex t = 0;
+  std::uint64_t cost = 0;    ///< probed cost(P ∪ {t})
+  std::uint64_t saving = 0;  ///< cost(P) − cost
+};
+
+class Search {
+ public:
+  Search(const Digraph& g, Vertex player, CostVersion version, const SolverBudget& budget)
+      : n_(g.num_vertices()),
+        player_(player),
+        version_(version),
+        b_(g.out_degree(player)),
+        inf_(cinf(n_)),
+        budget_(budget),
+        eval_(g, player, version, budget.incremental) {
+    if (n_ <= kMatrixLimit) build_matrix(g);
+  }
+
+  [[nodiscard]] NodeEval& eval() noexcept { return eval_; }
+
+  /// Seed the incumbent (better seeds prune more).
+  void offer(const std::vector<Vertex>& heads, std::uint64_t cost) {
+    if (cost < best_cost_) {
+      best_cost_ = cost;
+      best_heads_ = heads;
+    }
+  }
+
+  void run() {
+    std::vector<Vertex> candidates;
+    candidates.reserve(n_ - 1);
+    for (Vertex t = 0; t < n_; ++t) {
+      if (t != player_ && !eliminated_[t]) candidates.push_back(t);
+    }
+    dfs(candidates, /*floor_lb=*/0, /*depth=*/0);
+  }
+
+  void eliminate_dominated(SolverResult& result) {
+    if (!have_matrix_ || n_ > kDominanceLimit) return;
+    for (Vertex t2 = 0; t2 < n_; ++t2) {
+      if (t2 == player_) continue;
+      for (Vertex t1 = 0; t1 < n_ && !eliminated_[t2]; ++t1) {
+        if (t1 == player_ || t1 == t2 || eliminated_[t1]) continue;
+        bool dominates = true;
+        for (Vertex v = 0; v < n_ && dominates; ++v) {
+          if (v == player_) continue;
+          const std::uint64_t a = std::min(head_cover(t1, v), in_cover_[v]);
+          const std::uint64_t b = std::min(head_cover(t2, v), in_cover_[v]);
+          dominates = a <= b;
+        }
+        if (dominates) {
+          eliminated_[t2] = true;
+          ++result.nodes_pruned;  // a dominated candidate cuts its whole orbit
+        }
+      }
+    }
+  }
+
+  void finish(SolverResult& result) {
+    result.cost = best_cost_;
+    result.strategy = std::move(best_heads_);
+    result.nodes_explored = nodes_explored_;
+    result.nodes_pruned += nodes_pruned_;
+    result.evaluated += evaluated_;
+    result.bfs_avoided = eval_.bfs_avoided();
+    result.optimal = !truncated_;
+    result.lower_bound = truncated_ ? std::min(trunc_lb_, best_cost_) : best_cost_;
+  }
+
+ private:
+  void build_matrix(const Digraph& g) {
+    const UGraph base = best_response_base(g, player_);
+    BfsRunner runner(n_);
+    dist_.assign(static_cast<std::size_t>(n_) * n_, 0);
+    for (Vertex s = 0; s < n_; ++s) {
+      if (s == player_) continue;  // row unused (never a candidate/seed)
+      runner.run(base, s);
+      std::copy(runner.dist().begin(), runner.dist().end(), dist_.begin() + std::size_t{s} * n_);
+    }
+    in_cover_.assign(n_, kInfCost);
+    for (const Vertex w : player_in_neighbors(g, player_)) {
+      for (Vertex v = 0; v < n_; ++v) {
+        in_cover_[v] = std::min(in_cover_[v], head_cover(w, v));
+      }
+    }
+    cover_stack_.push_back(in_cover_);
+    have_matrix_ = true;
+    eliminated_.assign(n_, 0);
+  }
+
+  /// The distance charge v pays when served through head t: 1 + d_base(t, v),
+  /// saturated at Cinf across components (matching the cost model).
+  [[nodiscard]] std::uint64_t head_cover(Vertex t, Vertex v) const {
+    const std::uint32_t d = dist_[std::size_t{t} * n_ + v];
+    return d == kUnreachable ? inf_ : std::uint64_t{d} + 1;
+  }
+
+  [[nodiscard]] bool out_of_budget() {
+    if (budget_.node_limit > 0 && nodes_explored_ >= budget_.node_limit) return true;
+    if (budget_.deadline_seconds > 0 && timer_.elapsed_seconds() >= budget_.deadline_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Admissible lower bound for the subtree (P fixed, ≤ r heads from
+  /// `allowed`). See the header for the two bound families.
+  [[nodiscard]] std::uint64_t node_lower_bound(std::uint64_t cost_p,
+                                               const std::vector<Candidate>& cands,
+                                               std::uint32_t r) {
+    std::uint64_t lb = 0;
+    if (version_ == CostVersion::Sum) {
+      // Savings are subadditive: subtract only the r largest single-head
+      // savings from the node cost.
+      savings_scratch_.clear();
+      for (const Candidate& c : cands) savings_scratch_.push_back(c.saving);
+      const std::size_t keep = std::min<std::size_t>(r, savings_scratch_.size());
+      std::partial_sort(savings_scratch_.begin(), savings_scratch_.begin() + keep,
+                        savings_scratch_.end(), std::greater<>());
+      std::uint64_t gain = 0;
+      for (std::size_t i = 0; i < keep; ++i) gain += savings_scratch_[i];
+      lb = gain >= cost_p ? 0 : cost_p - gain;
+    }
+    if (have_matrix_) {
+      // Seed-distance bound: dist(v) ≥ min over every seed the subtree could
+      // ever own (in ∪ P via the cover stack, plus any allowed candidate).
+      const std::vector<std::uint64_t>& cover = cover_stack_.back();
+      std::uint64_t max_lb = 0;
+      std::uint64_t sum_lb = 0;
+      for (Vertex v = 0; v < n_; ++v) {
+        if (v == player_) continue;
+        std::uint64_t best = cover[v];
+        for (const Candidate& c : cands) {
+          best = std::min(best, head_cover(c.t, v));
+          if (best <= 1) break;
+        }
+        max_lb = std::max(max_lb, best);
+        sum_lb += best;
+      }
+      lb = std::max(lb, version_ == CostVersion::Sum ? sum_lb : max_lb);
+    }
+    return lb;
+  }
+
+  void dfs(const std::vector<Vertex>& allowed, std::uint64_t floor_lb, std::uint32_t depth) {
+    if (truncated_ || out_of_budget()) {
+      truncated_ = true;
+      trunc_lb_ = std::min(trunc_lb_, floor_lb);
+      return;
+    }
+    ++nodes_explored_;
+    const std::uint64_t cost_p = eval_.cost();
+    offer(eval_.heads(), cost_p);
+    const std::uint32_t r = b_ - depth;
+    if (r == 0 || allowed.empty()) return;
+
+    // Probe every allowed candidate once (journaled trial inserts).
+    std::vector<Candidate> cands;
+    cands.reserve(allowed.size());
+    for (const Vertex t : allowed) {
+      const std::uint64_t c = eval_.probe(t);
+      BBNG_ASSERT(c <= cost_p);
+      cands.push_back({t, c, cost_p - c});
+    }
+    evaluated_ += allowed.size();
+
+    const std::uint64_t lb = node_lower_bound(cost_p, cands, r);
+    if (lb >= best_cost_) {
+      ++nodes_pruned_;
+      return;
+    }
+
+    // Branch best-saving-first; ties by vertex id keep the order (and with
+    // it every node/evaluation count) deterministic.
+    std::sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+      return a.saving != b.saving ? a.saving > b.saving : a.t < b.t;
+    });
+    if (version_ == CostVersion::Sum) {
+      // A candidate saving nothing at P saves nothing below P either
+      // (single-head savings shrink as P grows) — drop it from the subtree.
+      while (!cands.empty() && cands.back().saving == 0) cands.pop_back();
+    }
+
+    if (r == 1) {
+      // Children are leaves and their costs are already probed.
+      for (const Candidate& c : cands) {
+        if (c.cost < best_cost_) {
+          std::vector<Vertex> heads = eval_.heads();
+          heads.push_back(c.t);
+          offer(heads, c.cost);
+        }
+      }
+      return;
+    }
+
+    std::vector<Vertex> child_allowed;
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      if (truncated_ || out_of_budget()) {
+        truncated_ = true;
+        trunc_lb_ = std::min(trunc_lb_, lb);
+        return;
+      }
+      const Candidate& child = cands[k];
+      child_allowed.clear();
+      for (std::size_t j = k + 1; j < cands.size(); ++j) child_allowed.push_back(cands[j].t);
+      if (version_ == CostVersion::Sum) {
+        // Pre-prune with the parent-level savings (≥ the child-level ones).
+        std::uint64_t gain = 0;
+        savings_scratch_.clear();
+        for (std::size_t j = k + 1; j < cands.size(); ++j) {
+          savings_scratch_.push_back(cands[j].saving);
+        }
+        const std::size_t keep = std::min<std::size_t>(r - 1, savings_scratch_.size());
+        std::partial_sort(savings_scratch_.begin(), savings_scratch_.begin() + keep,
+                          savings_scratch_.end(), std::greater<>());
+        for (std::size_t i = 0; i < keep; ++i) gain += savings_scratch_[i];
+        if (child.cost - std::min(child.cost, gain) >= best_cost_) {
+          ++nodes_pruned_;
+          continue;
+        }
+      }
+      eval_.push(child.t);
+      if (have_matrix_) {
+        cover_stack_.push_back(cover_stack_.back());
+        auto& top = cover_stack_.back();
+        for (Vertex v = 0; v < n_; ++v) top[v] = std::min(top[v], head_cover(child.t, v));
+      }
+      dfs(child_allowed, std::max(lb, floor_lb), depth + 1);
+      if (have_matrix_) cover_stack_.pop_back();
+      eval_.pop();
+    }
+  }
+
+  const std::uint32_t n_;
+  const Vertex player_;
+  const CostVersion version_;
+  const std::uint32_t b_;
+  const std::uint64_t inf_;
+  const SolverBudget budget_;
+  NodeEval eval_;
+  Timer timer_;
+
+  bool have_matrix_ = false;
+  std::vector<std::uint32_t> dist_;  ///< n×n base distances, row-major by source
+  std::vector<std::uint64_t> in_cover_;
+  std::vector<std::vector<std::uint64_t>> cover_stack_;
+  std::vector<std::uint8_t> eliminated_ = std::vector<std::uint8_t>(n_, 0);
+  std::vector<std::uint64_t> savings_scratch_;
+
+  std::uint64_t best_cost_ = kInfCost;
+  std::vector<Vertex> best_heads_;
+  bool truncated_ = false;
+  std::uint64_t trunc_lb_ = kInfCost;
+  std::uint64_t nodes_explored_ = 0;
+  std::uint64_t nodes_pruned_ = 0;
+  std::uint64_t evaluated_ = 0;
+};
+
+}  // namespace
+
+SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVersion version,
+                                        const SolverBudget& budget, ThreadPool* pool,
+                                        TranspositionCache* cache) const {
+  (void)pool;  // the DFS is sequential; callers parallelise across players
+  BBNG_REQUIRE(player < g.num_vertices());
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(player);
+
+  SolverResult result;
+  result.solver = std::string(name());
+
+  if (b == 0) {
+    const StrategyEvaluator eval(g, player, version);
+    result.current_cost = eval.current_cost();
+    result.cost = result.current_cost;
+    result.lower_bound = result.cost;
+    result.optimal = true;
+    result.evaluated = 1;
+    return result;
+  }
+
+  std::string key;
+  if (cache != nullptr) {
+    key = TranspositionCache::make_key(g, player, version);
+    if (const SolverResult* hit = cache->find(key)) {
+      SolverResult cached = *hit;
+      // current_cost depends on the player's present strategy, which is not
+      // part of the canonical key — refresh it. And a hit performs no
+      // search work: zero the counters so consumers (dynamics totals,
+      // nash_audit records) never report replayed effort as new.
+      const StrategyEvaluator eval(g, player, version);
+      cached.current_cost = eval.current_cost();
+      cached.nodes_explored = 0;
+      cached.nodes_pruned = 0;
+      cached.evaluated = 0;
+      cached.bfs_avoided = 0;
+      BBNG_ASSERT(cached.cost <= cached.current_cost);
+      return cached;
+    }
+  }
+
+  Search search(g, player, version, budget);
+  result.current_cost = search.eval().current_cost();
+
+  // Incumbent seeding: the current strategy plus a greedy+swap descent. A
+  // strong incumbent is what makes the bounds bite.
+  search.offer(search.eval().current_strategy(), result.current_cost);
+  {
+    const GreedySwapDescent descent = greedy_swap_descent(g, player, version, budget.incremental);
+    search.offer(descent.coarse.strategy, descent.coarse.cost);
+    search.offer(descent.refined.strategy, descent.refined.cost);
+    result.evaluated += descent.coarse.evaluated + descent.refined.evaluated;
+  }
+
+  search.eliminate_dominated(result);
+  search.run();
+  search.finish(result);
+
+  // Pad the incumbent to exactly b heads (supersets never cost more) and
+  // re-score it so the returned (strategy, cost) pair is exact.
+  if (result.strategy.size() < b) {
+    std::vector<std::uint8_t> used(n, 0);
+    used[player] = 1;
+    for (const Vertex h : result.strategy) used[h] = 1;
+    for (Vertex t = 0; t < n && result.strategy.size() < b; ++t) {
+      if (!used[t]) result.strategy.push_back(t);
+    }
+  }
+  std::sort(result.strategy.begin(), result.strategy.end());
+  {
+    const StrategyEvaluator eval(g, player, version);
+    StrategyEvaluator::Scratch scratch(n);
+    const std::uint64_t padded = eval.evaluate(result.strategy, scratch);
+    BBNG_ASSERT(padded <= result.cost);
+    BBNG_ASSERT(!result.optimal || padded == result.cost);
+    result.cost = padded;
+  }
+  BBNG_ASSERT(result.cost <= result.current_cost);
+  BBNG_ASSERT(result.lower_bound <= result.cost);
+
+  if (cache != nullptr) cache->store(key, result);
+  return result;
+}
+
+}  // namespace bbng

@@ -1,0 +1,104 @@
+#include "solver/solver.hpp"
+
+#include "game/strategy_eval.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+
+std::uint64_t trivial_cost_lower_bound(std::uint32_t n, CostVersion version) {
+  if (n < 2) return 0;
+  return version == CostVersion::Sum ? n - 1 : 1;
+}
+
+GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player, CostVersion version,
+                                      bool incremental) {
+  // exact_limit 1 keeps the ladder's exact path out of reach — this helper
+  // is the heuristic descent only.
+  const BestResponseSolver ladder(version, /*exact_limit=*/1, incremental);
+  GreedySwapDescent descent;
+  descent.coarse = ladder.greedy(g, player);
+  descent.refined = ladder.swap_improve(g, player, descent.coarse.strategy);
+  return descent;
+}
+
+BestResponse to_best_response(const SolverResult& result) {
+  BestResponse br;
+  br.strategy = result.strategy;
+  br.cost = result.cost;
+  br.current_cost = result.current_cost;
+  br.evaluated = result.evaluated;
+  br.bfs_avoided = result.bfs_avoided;
+  br.exact = result.optimal;
+  return br;
+}
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::string TranspositionCache::make_key(const Digraph& g, Vertex player, CostVersion version) {
+  const std::uint32_t n = g.num_vertices();
+  std::string key;
+  key.reserve(16 + 8 * g.num_arcs());
+  key.push_back(version == CostVersion::Sum ? 'S' : 'M');
+  append_u32(key, n);
+  append_u32(key, player);
+  append_u32(key, g.out_degree(player));
+  // In-neighbour set (sorted by construction of the scan).
+  for (const Vertex w : player_in_neighbors(g, player)) append_u32(key, w);
+  key.push_back('|');
+  // Base adjacency: every arc not incident to the player, as the owner sees
+  // it (owner lists are sorted, so the byte stream is canonical). The
+  // player's own out-arcs are deliberately excluded — they do not affect its
+  // best response, so a player re-queried after changing only its own
+  // strategy hits the cache.
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == player) continue;
+    for (const Vertex v : g.out_neighbors(u)) {
+      if (v == player) continue;
+      append_u32(key, u);
+      append_u32(key, v);
+    }
+  }
+  return key;
+}
+
+const SolverResult* TranspositionCache::find(const std::string& key) const {
+  const auto bucket = map_.find(fnv1a64(key));
+  if (bucket != map_.end()) {
+    for (const auto& [stored_key, result] : bucket->second) {
+      if (stored_key == key) {
+        ++hits_;
+        return &result;
+      }
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void TranspositionCache::store(const std::string& key, const SolverResult& result) {
+  if (!result.optimal) return;
+  if (entries_ >= max_entries_) {
+    // Bounded memo: flush wholesale and refill. Dynamics keys change under
+    // every neighbourhood move, so old entries are overwhelmingly stale —
+    // keeping the recent flow cached matters more than keeping history.
+    map_.clear();
+    entries_ = 0;
+    ++flushes_;
+  }
+  auto& bucket = map_[fnv1a64(key)];
+  for (const auto& [stored_key, existing] : bucket) {
+    if (stored_key == key) return;  // first certified answer wins (they agree)
+  }
+  bucket.emplace_back(key, result);
+  ++entries_;
+}
+
+}  // namespace bbng

@@ -1,0 +1,152 @@
+// Best-response solver subsystem — the common anytime interface.
+//
+// Computing a best response is NP-hard (Theorem 2.1), so no single algorithm
+// fits every instance. This subsystem gives every algorithm one shape: a
+// *backend* takes a realization, a player, a cost version, and a SolverBudget
+// (wall-clock deadline + node limit), and returns a SolverResult carrying an
+// incumbent strategy, an admissible lower bound on the true best-response
+// cost, and an optimality certificate flag. Certified backends (exact
+// branch-and-bound) set `optimal` only when the search closed; heuristic
+// backends (portfolio, the greedy+swap ladder) leave it false unless the
+// strategy space is degenerate. Backends are stateless and thread-safe —
+// the scenario engine calls one shared instance from many jobs at once.
+//
+// Consumers select backends by registry name ("exact_bb", "portfolio",
+// "swap"; see registry.hpp), which is how dynamics configs, equilibrium
+// checks, and engine specs name their solver declaratively.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "game/best_response.hpp"
+#include "game/game.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bbng {
+
+/// Anytime execution budget. The node-limit unit — and the meaning of 0 —
+/// is backend-specific: exact_bb counts search-tree nodes (0 = unlimited);
+/// the swap ladder takes it verbatim as the legacy exact-enumeration
+/// candidate cap (0 DISABLES the exact path, exactly as exact_limit = 0
+/// always has); the portfolio's racers are polynomial and ignore it. The
+/// deadline is honoured where a preemption point exists: per search node in
+/// exact_bb, between racers in the portfolio; the swap ladder has none and
+/// ignores it (spec validation rejects a deadline aimed at it).
+/// `incremental` mirrors BestResponseSolver's flag: score candidates through
+/// the dynamic-BFS delta oracle, or force the naive full-BFS path
+/// (differential testing; both paths return identical costs).
+struct SolverBudget {
+  double deadline_seconds = 0;   ///< wall-clock cap; 0 = none
+  std::uint64_t node_limit = 0;  ///< backend-specific work cap (see above)
+  bool incremental = true;       ///< delta-oracle scoring (naive when false)
+};
+
+/// What a backend returns. `lower_bound` is always an admissible bound on
+/// the true best-response cost (trivial for heuristics); `optimal` is the
+/// certificate that `cost` *is* that optimum. `cost` never exceeds
+/// `current_cost` — staying put is always a candidate.
+struct SolverResult {
+  std::string solver;                ///< registry name of the producing backend
+  std::vector<Vertex> strategy;      ///< sorted heads of the incumbent
+  std::uint64_t cost = 0;            ///< player's cost under `strategy`
+  std::uint64_t current_cost = 0;    ///< player's cost before deviating
+  std::uint64_t lower_bound = 0;     ///< admissible LB on the optimal cost
+  bool optimal = false;              ///< certificate: cost == optimum
+  std::uint64_t nodes_explored = 0;  ///< search-tree nodes expanded
+  std::uint64_t nodes_pruned = 0;    ///< subtrees cut by bounds/dominance
+  std::uint64_t evaluated = 0;       ///< candidate strategies scored
+  std::uint64_t bfs_avoided = 0;     ///< of those, served by the delta oracle
+
+  [[nodiscard]] bool improves() const noexcept { return cost < current_cost; }
+};
+
+/// Adapter to the legacy BestResponse shape used by the dynamics engine.
+[[nodiscard]] BestResponse to_best_response(const SolverResult& result);
+
+/// Memo of certified solves keyed by the *canonical relevant state* of a
+/// query: the player's base graph (underlying(G) minus the player's edges —
+/// the player's own out-arcs never affect its best response), its
+/// in-neighbour set, its budget, and the cost version. Keys are compared by
+/// full encoded bytes (a 64-bit hash only buckets them), so a hit is exact,
+/// never probabilistic — a requirement for certified results. Only optimal
+/// results are stored, and the memo is bounded: at `max_entries` it flushes
+/// wholesale and refills, so long dynamics runs keep their *recent* (hot)
+/// states cached instead of growing O(moves · m) bytes of stale entries.
+/// Not thread-safe; callers own one per thread.
+class TranspositionCache {
+ public:
+  explicit TranspositionCache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+  /// Canonical key bytes for a (g, player, version) query.
+  [[nodiscard]] static std::string make_key(const Digraph& g, Vertex player,
+                                            CostVersion version);
+
+  /// Cached certified result, or nullptr. `current_cost` in the returned
+  /// value is stale (it depends on the player's current strategy, which is
+  /// not part of the key) — callers must refresh it.
+  [[nodiscard]] const SolverResult* find(const std::string& key) const;
+
+  /// Store a certified result (ignored unless result.optimal).
+  void store(const std::string& key, const SolverResult& result);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
+  /// Times the memo hit its bound and was flushed wholesale.
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+ private:
+  std::size_t max_entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::size_t entries_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::string, SolverResult>>> map_;
+};
+
+/// A best-response algorithm behind the common anytime interface. Stateless;
+/// `solve` may be called concurrently. `pool` parallelises inside a single
+/// solve where the backend supports it (the swap ladder's exact
+/// enumeration); `cache` memoises certified results for backends that can
+/// reuse them (exact_bb) and is ignored by the rest.
+class BestResponseBackend {
+ public:
+  virtual ~BestResponseBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Whether SolverBudget::deadline_seconds is honoured (the backend has a
+  /// preemption point). Validation layers use this to reject deadlines that
+  /// would be silent no-ops, so it must stay truthful per backend.
+  [[nodiscard]] virtual bool supports_deadline() const noexcept { return true; }
+
+  [[nodiscard]] virtual SolverResult solve(const Digraph& g, Vertex player, CostVersion version,
+                                           const SolverBudget& budget = {},
+                                           ThreadPool* pool = nullptr,
+                                           TranspositionCache* cache = nullptr) const = 0;
+};
+
+/// The weakest bound every backend may fall back on: with n ≥ 2 every other
+/// vertex sits at distance ≥ 1, so SUM ≥ n−1 and MAX ≥ 1. Shared so the
+/// heuristic backends can never drift apart on the same query.
+[[nodiscard]] std::uint64_t trivial_cost_lower_bound(std::uint32_t n, CostVersion version);
+
+/// One greedy construction refined by one swap descent — the incumbent
+/// recipe shared by the portfolio's racer 2 and the branch-and-bound's
+/// seeding, kept in one place so their counters and incumbents stay
+/// comparable.
+struct GreedySwapDescent {
+  BestResponse coarse;   ///< greedy construction from scratch
+  BestResponse refined;  ///< swap descent started from `coarse`
+};
+[[nodiscard]] GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player,
+                                                    CostVersion version, bool incremental);
+
+}  // namespace bbng

@@ -1,0 +1,53 @@
+#include "solver/swap_ladder.hpp"
+
+#include <algorithm>
+
+namespace bbng {
+
+SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersion version,
+                                     const SolverBudget& budget, ThreadPool* pool,
+                                     TranspositionCache* cache) const {
+  (void)cache;
+  // node_limit IS the legacy exact_limit, verbatim: 0 disables the exact
+  // path (it never meant "unlimited" here), preserving pre-registry
+  // behaviour bit-for-bit for every exact_limit a caller ever passed.
+  const BestResponseSolver ladder(version, budget.node_limit, budget.incremental);
+
+  SolverResult result;
+  result.solver = std::string(name());
+
+  if (ladder.exact_feasible(g, player)) {
+    const BestResponse br = ladder.exact(g, player, pool);
+    result.strategy = br.strategy;
+    result.cost = br.cost;
+    result.current_cost = br.current_cost;
+    result.evaluated = br.evaluated;
+    result.bfs_avoided = br.bfs_avoided;
+    result.optimal = true;
+    result.lower_bound = br.cost;
+    return result;
+  }
+
+  BestResponse coarse = ladder.greedy(g, player);
+  BestResponse refined = ladder.swap_improve(g, player, coarse.strategy);
+  result.evaluated = coarse.evaluated + refined.evaluated;
+  result.bfs_avoided = coarse.bfs_avoided + refined.bfs_avoided;
+  if (coarse.cost < refined.cost) {
+    refined.strategy = std::move(coarse.strategy);
+    refined.cost = coarse.cost;
+  }
+  // A heuristic must never recommend a deviation worse than staying put.
+  if (refined.cost >= refined.current_cost) {
+    refined.strategy.assign(g.out_neighbors(player).begin(), g.out_neighbors(player).end());
+    std::sort(refined.strategy.begin(), refined.strategy.end());
+    refined.cost = refined.current_cost;
+  }
+  result.strategy = std::move(refined.strategy);
+  result.cost = refined.cost;
+  result.current_cost = refined.current_cost;
+  result.optimal = false;
+  result.lower_bound = trivial_cost_lower_bound(g.num_vertices(), version);
+  return result;
+}
+
+}  // namespace bbng

@@ -1,0 +1,39 @@
+// The pre-registry solver ladder as a registry backend.
+//
+// This is the exact behaviour BestResponseSolver::solve has always had —
+// full enumeration when the candidate count fits the limit, otherwise greedy
+// construction refined by swap descent and clamped so a heuristic never
+// recommends a deviation worse than staying put — wrapped in the common
+// backend shape. It exists so every pre-solver-subsystem consumer (the
+// dynamics engine above all) can route through the registry and still
+// produce bit-identical results; it is the registry's conservative default.
+#pragma once
+
+#include "solver/solver.hpp"
+
+namespace bbng {
+
+class SwapLadderSolver final : public BestResponseBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "swap"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "the classic ladder: exact enumeration when the candidate count fits the "
+           "node limit, else greedy + swap descent (bit-compatible legacy default)";
+  }
+
+  /// The ladder has no preemption point; deadlines would be silent no-ops,
+  /// so validation layers reject them for this backend.
+  [[nodiscard]] bool supports_deadline() const noexcept override { return false; }
+
+  /// `budget.node_limit` is the legacy exact-enumeration candidate cap,
+  /// taken verbatim — 0 disables the exact path (callers wanting the legacy
+  /// default pass 2'000'000, as BestResponseSolver does). The ladder has no
+  /// preemption point, so `budget.deadline_seconds` is NOT honoured here;
+  /// spec validation rejects a deadline aimed at this backend. `pool`
+  /// parallelises the enumeration; `cache` is unused.
+  [[nodiscard]] SolverResult solve(const Digraph& g, Vertex player, CostVersion version,
+                                   const SolverBudget& budget = {}, ThreadPool* pool = nullptr,
+                                   TranspositionCache* cache = nullptr) const override;
+};
+
+}  // namespace bbng

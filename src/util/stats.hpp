@@ -23,6 +23,25 @@ struct Summary {
 
 [[nodiscard]] Summary summarize(std::span<const double> values);
 
+/// Percentile-bootstrap confidence interval for the mean.
+struct BootstrapCi {
+  double mean = 0;
+  double lower = 0;       ///< (1−confidence)/2 quantile of resampled means
+  double upper = 0;       ///< mirror quantile
+  double confidence = 0;  ///< echo of the request (0 when values were empty)
+  std::size_t resamples = 0;
+};
+
+/// Resample `values` with replacement `resamples` times and take the
+/// percentile interval of the resampled means. Deterministic for a fixed
+/// `seed`, so artifact summaries that embed the interval stay byte-identical
+/// across runs. Degenerate inputs collapse gracefully: empty → all zeros,
+/// a single value (or constant data) → a zero-width interval at the mean.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> values,
+                                            double confidence = 0.95,
+                                            std::size_t resamples = 1000,
+                                            std::uint64_t seed = 0x626f6f74ULL);
+
 struct LinearFit {
   double slope = 0;
   double intercept = 0;

@@ -1,0 +1,136 @@
+// End-to-end error-path tests for the bbng_engine CLI: each misuse must
+// exit non-zero with a message that names the offence (unknown subcommand,
+// missing spec file, malformed spec, schema violations, missing required
+// options), and the happy informational paths must exit zero. The binary
+// path is injected by CMake as BBNG_ENGINE_BINARY.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace bbng {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+/// Run the engine CLI with `args`, capturing both streams.
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(BBNG_ENGINE_BINARY) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  std::size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string write_temp_spec(const std::string& name, const std::string& contents) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / ("bbng_cli_test_" + name + ".json");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  return path.string();
+}
+
+TEST(EngineCli, UnknownSubcommandNamesItAndFails) {
+  const CliResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown subcommand"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("frobnicate"), std::string::npos) << result.output;
+}
+
+TEST(EngineCli, NoArgumentsPrintsUsageAndFails) {
+  const CliResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos) << result.output;
+}
+
+TEST(EngineCli, MissingSpecFileNamesThePath) {
+  const CliResult result = run_cli("validate --spec /nonexistent/bbng_no_such_spec.json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("/nonexistent/bbng_no_such_spec.json"), std::string::npos)
+      << result.output;
+}
+
+TEST(EngineCli, MalformedJsonReportsThePosition) {
+  const std::string path = write_temp_spec("malformed", "{\"name\": \"x\", }");
+  const CliResult result = run_cli("validate --spec " + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("JSON parse error"), std::string::npos) << result.output;
+  std::filesystem::remove(path);
+}
+
+TEST(EngineCli, SchemaViolationNamesTheOffendingKey) {
+  const std::string path = write_temp_spec("unknown_key", R"({
+    "name": "probe", "task": "dynamics", "version": "sum",
+    "budgets": {"family": "tree"}, "grid": {"n": [6]},
+    "seeds": {"begin": 0, "end": 1}, "typo_key": true})");
+  const CliResult result = run_cli("validate --spec " + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("typo_key"), std::string::npos) << result.output;
+  std::filesystem::remove(path);
+}
+
+TEST(EngineCli, UnknownSolverNameIsRejectedAtValidateTime) {
+  const std::string path = write_temp_spec("bad_solver", R"({
+    "name": "probe", "task": "nash_audit", "version": "sum",
+    "budgets": {"family": "tree"}, "grid": {"n": [6]},
+    "seeds": {"begin": 0, "end": 1},
+    "params": {"solver": "quantum_annealer"}})");
+  const CliResult result = run_cli("validate --spec " + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("quantum_annealer"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("exact_bb"), std::string::npos) << result.output;
+  std::filesystem::remove(path);
+}
+
+TEST(EngineCli, RunWithoutRequiredOptionsFails) {
+  const CliResult result = run_cli("run");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--spec and --output are required"), std::string::npos)
+      << result.output;
+}
+
+TEST(EngineCli, ListTasksAndListSolversSucceed) {
+  const CliResult tasks = run_cli("list-tasks");
+  EXPECT_EQ(tasks.exit_code, 0);
+  EXPECT_NE(tasks.output.find("nash_audit"), std::string::npos) << tasks.output;
+  const CliResult solvers = run_cli("list-solvers");
+  EXPECT_EQ(solvers.exit_code, 0);
+  EXPECT_NE(solvers.output.find("exact_bb"), std::string::npos) << solvers.output;
+  EXPECT_NE(solvers.output.find("portfolio"), std::string::npos) << solvers.output;
+}
+
+TEST(EngineCli, QuietSuppressesProgressLines) {
+  const std::string path = write_temp_spec("quiet_probe", R"({
+    "name": "quiet_probe", "task": "swap_equilibrium", "version": "sum",
+    "generator": "star", "grid": {"n": [6]}, "seeds": {"begin": 0, "end": 2}})");
+  const std::filesystem::path artifact =
+      std::filesystem::temp_directory_path() / "bbng_cli_quiet_probe.jsonl";
+  std::filesystem::remove(artifact);
+  const CliResult result =
+      run_cli("run --spec " + path + " --output " + artifact.string() + " --quiet");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output.find("progress:"), std::string::npos) << result.output;
+  std::filesystem::remove(path);
+  std::filesystem::remove(artifact);
+  std::filesystem::remove(artifact.string() + ".ckpt.json");
+  std::filesystem::remove(artifact.string() + ".summary.json");
+}
+
+}  // namespace
+}  // namespace bbng

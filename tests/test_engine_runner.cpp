@@ -234,6 +234,28 @@ TEST_F(EngineRunnerTest, HeaderRecordsHostMetadataAndSummaryAggregates) {
   EXPECT_EQ(dyn.at("numbers").at("rounds").at("count").as_uint(), 20u);
   // converged is a bool field: counted, not averaged.
   EXPECT_LE(dyn.at("bool_true_counts").at("converged").as_uint(), 20u);
+  // Numeric aggregates carry a bootstrap CI bracketing the mean: bare means
+  // mislead at campaign sample sizes.
+  const JsonValue& rounds = dyn.at("numbers").at("rounds");
+  EXPECT_LE(rounds.at("ci95_lower").as_double(), rounds.at("mean").as_double());
+  EXPECT_GE(rounds.at("ci95_upper").as_double(), rounds.at("mean").as_double());
+  EXPECT_GE(rounds.at("ci95_lower").as_double(), rounds.at("min").as_double());
+  EXPECT_LE(rounds.at("ci95_upper").as_double(), rounds.at("max").as_double());
+}
+
+TEST_F(EngineRunnerTest, ProgressGoesToStderrAndNeverTheArtifact) {
+  const std::string reference = reference_bytes();
+  RunnerConfig cfg = config("progress.jsonl", 2);
+  cfg.progress = true;
+  cfg.progress_interval_seconds = 0;  // report after every window
+  ::testing::internal::CaptureStderr();
+  const RunReport report = run_campaign(campaign_, kCampaignText, cfg);
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(report.completed);
+  EXPECT_NE(stderr_text.find("progress:"), std::string::npos) << stderr_text;
+  EXPECT_NE(stderr_text.find("eta"), std::string::npos) << stderr_text;
+  // Progress must not perturb the artifact bytes.
+  EXPECT_EQ(read_file(cfg.output_path), reference);
 }
 
 }  // namespace

@@ -191,6 +191,36 @@ TEST(EngineSpec, MalformedSpecsRejectedWithNamedOffence) {
       {R"({"task":"dynamics","version":"sum","budgets":{"family":"tree"},
            "grid":{"n":[8]},"seeds":{"begin":0,"end":1}})",
        "missing required key \"name\""},
+      // Unknown solver backend, named together with the registered ones.
+      {R"({"name":"x","task":"nash_audit","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver":"quantum_annealer"}})",
+       "unknown solver \"quantum_annealer\""},
+      // solver is only meaningful where best-response queries happen.
+      {R"({"name":"x","task":"audit","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver":"exact_bb"}})",
+       "unknown key \"solver\" in params"},
+      // Unknown key inside solver_budget.
+      {R"({"name":"x","task":"nash_audit","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver_budget":{"node_limit":10,"fuel":3}}})",
+       "unknown key \"fuel\""},
+      // solver_budget must be an object.
+      {R"({"name":"x","task":"poa","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver_budget":12}})",
+       "solver_budget must be an object"},
+      // A deadline aimed at the swap ladder (explicitly or via the
+      // dynamics/poa default) would be a silent no-op — reject it.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver_budget":{"deadline_ms":250}}})",
+       "deadline_ms is not supported by the \"swap\" backend"},
+      {R"({"name":"x","task":"nash_audit","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[6]},"seeds":{"begin":0,"end":1},
+           "params":{"solver":"swap","solver_budget":{"deadline_ms":250}}})",
+       "deadline_ms is not supported by the \"swap\" backend"},
   };
   for (const BadSpec& bad : cases) {
     try {
@@ -201,6 +231,31 @@ TEST(EngineSpec, MalformedSpecsRejectedWithNamedOffence) {
           << "error was: " << error.what() << "\nexpected fragment: " << bad.fragment;
     }
   }
+}
+
+TEST(EngineSpec, ParsesSolverAndSolverBudgetParams) {
+  const CampaignSpec campaign = parse_campaign_spec(R"({
+    "name": "nash_probe",
+    "task": "nash_audit",
+    "version": "max",
+    "budgets": {"family": "tree"},
+    "grid": {"n": [7]},
+    "seeds": {"begin": 0, "end": 3},
+    "params": {"solver": "exact_bb",
+               "solver_budget": {"node_limit": 50000, "deadline_ms": 250},
+               "incremental": false}})");
+  ASSERT_EQ(campaign.scenarios.size(), 1u);
+  const ScenarioSpec& scenario = campaign.scenarios[0];
+  EXPECT_EQ(scenario.task, TaskKind::NashAudit);
+  EXPECT_EQ(scenario.params.solver, "exact_bb");
+  EXPECT_EQ(scenario.params.solver_node_limit, 50'000u);
+  EXPECT_EQ(scenario.params.solver_deadline_ms, 250u);
+  EXPECT_FALSE(scenario.params.incremental);
+  // Defaults: empty solver string (task default), zero budget knobs.
+  const CampaignSpec plain = parse_campaign_spec(kValidSingle);
+  EXPECT_TRUE(plain.scenarios[0].params.solver.empty());
+  EXPECT_EQ(plain.scenarios[0].params.solver_node_limit, 0u);
+  EXPECT_EQ(plain.scenarios[0].params.solver_deadline_ms, 0u);
 }
 
 TEST(EngineSpec, MalformedJsonSurfacesParsePosition) {

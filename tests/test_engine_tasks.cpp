@@ -122,13 +122,52 @@ TEST(EngineTasks, IncrementalFlagDoesNotChangeTheVerdict) {
   }
 }
 
+TEST(EngineTasks, NashAuditRecordIsInternallyConsistent) {
+  const CampaignSpec campaign = campaign_for("nash_audit");
+  const std::vector<Job> jobs = expand_jobs(campaign);
+  for (const Job& job : jobs) {
+    const JsonValue record = parse_json(run_job_line(campaign, job));
+    EXPECT_EQ(record.at("solver").as_string(), "exact_bb");
+    EXPECT_TRUE(record.at("certified").as_bool());  // n=10 closes within budget
+    const std::uint64_t n = record.at("n").as_uint();
+    EXPECT_EQ(record.at("players_certified").as_uint(), n);
+    EXPECT_GT(record.at("nodes_explored").as_uint(), 0u);
+    if (record.at("stable").as_bool()) {
+      EXPECT_EQ(record.at("epsilon").as_uint(), 0u);
+      EXPECT_TRUE(record.at("deviator").is_null());
+      EXPECT_TRUE(record.at("regret").is_null());
+    } else {
+      EXPECT_GT(record.at("epsilon").as_uint(), 0u);
+      EXPECT_LT(record.at("deviator").as_uint(), n);
+      EXPECT_GE(record.at("epsilon").as_uint(), record.at("regret").as_uint());
+    }
+  }
+}
+
+TEST(EngineTasks, NashAuditAgreesAcrossSolversOnTheVerdict) {
+  // exact_bb and the swap ladder (which is also exact at this size) must
+  // agree on stable/certified for every job.
+  const CampaignSpec bb = campaign_for("nash_audit");
+  const CampaignSpec ladder =
+      campaign_for("nash_audit", R"(, "params": {"solver": "swap"})");
+  const std::vector<Job> jobs = expand_jobs(bb);
+  for (const Job& job : jobs) {
+    const JsonValue a = parse_json(run_job_line(bb, job));
+    const JsonValue b = parse_json(run_job_line(ladder, job));
+    EXPECT_EQ(a.at("stable").as_bool(), b.at("stable").as_bool());
+    EXPECT_EQ(a.at("certified").as_bool(), b.at("certified").as_bool());
+    EXPECT_EQ(a.at("epsilon").as_uint(), b.at("epsilon").as_uint());
+  }
+}
+
 TEST(EngineTasks, ListTasksCoversEveryKind) {
   const auto tasks = list_tasks();
-  ASSERT_EQ(tasks.size(), 4u);
+  ASSERT_EQ(tasks.size(), 5u);
   EXPECT_EQ(tasks[0].first, "dynamics");
   EXPECT_EQ(tasks[1].first, "swap_equilibrium");
   EXPECT_EQ(tasks[2].first, "poa");
   EXPECT_EQ(tasks[3].first, "audit");
+  EXPECT_EQ(tasks[4].first, "nash_audit");
   for (const auto& [name, description] : tasks) EXPECT_FALSE(description.empty());
 }
 

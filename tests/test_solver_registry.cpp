@@ -1,0 +1,118 @@
+// Registry contract tests: lookup by name, the error message for unknown
+// names (spec validation surfaces it verbatim), and — the load-bearing one —
+// bit-compatibility of the "swap" backend with the pre-registry
+// BestResponseSolver::solve ladder, which now routes through it.
+#include "solver/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "game/best_response.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bbng {
+namespace {
+
+TEST(SolverRegistry, ListsEveryBackendWithDescriptions) {
+  const auto solvers = list_solvers();
+  ASSERT_EQ(solvers.size(), 3u);
+  EXPECT_EQ(solvers[0].first, "swap");
+  EXPECT_EQ(solvers[1].first, "exact_bb");
+  EXPECT_EQ(solvers[2].first, "portfolio");
+  for (const auto& [name, description] : solvers) {
+    EXPECT_FALSE(description.empty()) << name;
+    EXPECT_EQ(find_solver(name).name(), name);
+    EXPECT_TRUE(solver_exists(name));
+  }
+  EXPECT_EQ(solver_names().size(), 3u);
+}
+
+TEST(SolverRegistry, UnknownNameThrowsNamingTheOffenderAndTheOptions) {
+  EXPECT_FALSE(solver_exists("simplex"));
+  try {
+    (void)find_solver("simplex");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("simplex"), std::string::npos) << what;
+    EXPECT_NE(what.find("swap"), std::string::npos) << what;
+    EXPECT_NE(what.find("exact_bb"), std::string::npos) << what;
+    EXPECT_NE(what.find("portfolio"), std::string::npos) << what;
+  }
+}
+
+TEST(SolverRegistry, SwapBackendIsBitCompatibleWithTheLadder) {
+  // BestResponseSolver::solve delegates to the "swap" backend; both exact
+  // and heuristic regimes must return identical strategies and counters to
+  // what the pre-registry ladder produced (the backend IS that ladder).
+  const BestResponseBackend& swap = find_solver("swap");
+  Rng rng(606);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(round % 8);
+    const std::uint64_t sigma = n / 2 + rng.next_below(3 * n / 2 + 1);
+    const Digraph g = random_profile(random_budgets(n, sigma, rng), rng);
+    for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+      // exact_limit 1 forces the heuristic regime; the default allows exact.
+      for (const std::uint64_t limit : {std::uint64_t{1}, std::uint64_t{2'000'000}}) {
+        const BestResponseSolver ladder(version, limit);
+        for (Vertex u = 0; u < n; ++u) {
+          if (g.out_degree(u) == 0) continue;
+          const BestResponse via_solver = ladder.solve(g, u);
+          SolverBudget budget;
+          budget.node_limit = limit;
+          const SolverResult via_registry = swap.solve(g, u, version, budget);
+          ASSERT_EQ(via_solver.cost, via_registry.cost);
+          ASSERT_EQ(via_solver.strategy, via_registry.strategy);
+          ASSERT_EQ(via_solver.current_cost, via_registry.current_cost);
+          ASSERT_EQ(via_solver.evaluated, via_registry.evaluated);
+          ASSERT_EQ(via_solver.exact, via_registry.optimal);
+        }
+      }
+    }
+  }
+}
+
+TEST(SolverRegistry, SwapNodeLimitZeroDisablesTheExactPath) {
+  // exact_limit = 0 has always meant "heuristic moves only"; the registry
+  // wrapper must not reinterpret it as "use a default enumeration cap".
+  Rng rng(12);
+  const Digraph g = random_profile(random_budgets(8, 10, rng), rng);
+  const BestResponseBackend& swap = find_solver("swap");
+  SolverBudget budget;
+  budget.node_limit = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (g.out_degree(u) == 0) continue;
+    const SolverResult result = swap.solve(g, u, CostVersion::Sum, budget);
+    EXPECT_FALSE(result.optimal);  // enumeration never ran
+    const BestResponseSolver ladder(CostVersion::Sum, /*exact_limit=*/0);
+    const BestResponse reference = ladder.solve(g, u);
+    EXPECT_EQ(result.cost, reference.cost);
+    EXPECT_EQ(result.strategy, reference.strategy);
+  }
+}
+
+TEST(SolverRegistry, EveryBackendHonoursTheCommonContract) {
+  // cost ≤ current_cost, lower_bound ≤ cost, and a sorted strategy of
+  // exactly budget size — for every registered backend on one instance.
+  Rng rng(41);
+  const std::uint64_t sigma = 12;
+  const Digraph g = random_profile(random_budgets(9, sigma, rng), rng);
+  for (const std::string& name : solver_names()) {
+    const BestResponseBackend& backend = find_solver(name);
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      const SolverResult result = backend.solve(g, u, CostVersion::Sum);
+      EXPECT_EQ(result.solver, name);
+      EXPECT_LE(result.cost, result.current_cost) << name;
+      EXPECT_LE(result.lower_bound, result.cost) << name;
+      EXPECT_EQ(result.strategy.size(), g.out_degree(u)) << name;
+      EXPECT_TRUE(std::is_sorted(result.strategy.begin(), result.strategy.end())) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbng

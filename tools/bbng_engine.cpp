@@ -4,14 +4,17 @@
 //   bbng_engine run        --spec ... --output campaign.jsonl [--threads 0]
 //   bbng_engine resume     --spec ... --output campaign.jsonl
 //   bbng_engine list-tasks
+//   bbng_engine list-solvers
 //
 // `run` executes a declarative campaign sharded across a thread pool and
 // streams one JSON record per game instance into the output JSONL (header
 // line first, then jobs in id order), checkpointing a manifest alongside.
-// `resume` continues an interrupted campaign from its manifest; the
-// completed artifact is byte-identical to an uninterrupted run at any
-// thread count. `--halt-after N` simulates a kill after N committed jobs
-// (used by CI to exercise the resume path).
+// While running it reports progress (jobs done/total, ETA) to stderr so
+// long campaigns are not silent; `--quiet` suppresses that (stdout and the
+// artifact are byte-clean either way). `resume` continues an interrupted
+// campaign from its manifest; the completed artifact is byte-identical to
+// an uninterrupted run at any thread count. `--halt-after N` simulates a
+// kill after N committed jobs (used by CI to exercise the resume path).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -19,17 +22,19 @@
 #include "engine/runner.hpp"
 #include "engine/spec.hpp"
 #include "engine/tasks.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 int usage(int code) {
   std::fputs(
-      "usage: bbng_engine <run|resume|validate|list-tasks> [options]\n"
-      "  run        execute a campaign spec into a JSONL artifact\n"
-      "  resume     continue an interrupted campaign from its checkpoint\n"
-      "  validate   parse + validate a spec, print the job budget\n"
-      "  list-tasks describe the available task kinds\n"
+      "usage: bbng_engine <run|resume|validate|list-tasks|list-solvers> [options]\n"
+      "  run          execute a campaign spec into a JSONL artifact\n"
+      "  resume       continue an interrupted campaign from its checkpoint\n"
+      "  validate     parse + validate a spec, print the job budget\n"
+      "  list-tasks   describe the available task kinds\n"
+      "  list-solvers describe the registered best-response solver backends\n"
       "options are per subcommand; see `bbng_engine <subcommand> --help`.\n",
       code == 0 ? stdout : stderr);
   return code;
@@ -77,6 +82,7 @@ int run_or_resume(bool resume, int argc, const char** argv) {
                                       "simulate a kill after N total committed jobs");
   const auto force = cli.add_flag("force", "overwrite an existing artifact (run only)");
   const auto no_summary = cli.add_flag("no-summary", "skip the .summary.json aggregation");
+  const auto quiet = cli.add_flag("quiet", "suppress the periodic progress lines on stderr");
   cli.parse(argc, argv);
 
   if (spec_path->empty() || output->empty()) {
@@ -103,6 +109,7 @@ int run_or_resume(bool resume, int argc, const char** argv) {
   config.halt_after = checked(*halt_after, "halt-after");
   config.overwrite = *force;
   config.write_summary = !*no_summary;
+  config.progress = !*quiet;
 
   const bbng::RunReport report = resume
                                      ? bbng::resume_campaign(campaign, spec_text, config)
@@ -131,6 +138,13 @@ int list_tasks() {
   return 0;
 }
 
+int list_solvers() {
+  for (const auto& [name, description] : bbng::list_solvers()) {
+    std::cout << name << "\n    " << description << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -143,6 +157,7 @@ int main(int argc, const char** argv) {
     if (subcommand == "resume") return run_or_resume(true, argc - 1, argv + 1);
     if (subcommand == "validate") return validate(argc - 1, argv + 1);
     if (subcommand == "list-tasks") return list_tasks();
+    if (subcommand == "list-solvers") return list_solvers();
     if (subcommand == "--help" || subcommand == "-h" || subcommand == "help") return usage(0);
     std::cerr << "error: unknown subcommand \"" << subcommand << "\"\n";
     return usage(2);
