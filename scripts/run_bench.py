@@ -25,12 +25,17 @@ speedups.
 Fails loudly: a missing, crashing, or check-failing bench exits non-zero
 *without* writing the output file — a partial artifact is worse than none.
 
+With ``--csr-output PATH`` it additionally runs ``bench_csr`` (CSR vs
+vector graph core: bit-identical swap sweeps plus the flat-memory large-n
+smoke when ``--csr-large-n`` is nonzero) and writes ``BENCH_csr.json``.
+
 Usage:
     python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
                                  [--min-n 128] [--max-n 1024] [--players 24] [--seed 1]
                                  [--solver-output BENCH_solver.json]
                                  [--solver-min-n 10] [--solver-max-n 18]
                                  [--solver-instances 12]
+                                 [--csr-output BENCH_csr.json] [--csr-large-n 1000]
 """
 
 import argparse
@@ -117,6 +122,17 @@ def main():
     parser.add_argument("--solver-min-n", type=int, default=10)
     parser.add_argument("--solver-max-n", type=int, default=18)
     parser.add_argument("--solver-instances", type=int, default=12)
+    parser.add_argument(
+        "--csr-output",
+        default="",
+        help="also run bench_csr and write this JSON (empty = skip)",
+    )
+    parser.add_argument(
+        "--csr-large-n",
+        type=int,
+        default=0,
+        help="grid side for bench_csr's large-n smoke (1000 -> n=10^6); 0 skips it",
+    )
     args = parser.parse_args()
     build = pathlib.Path(args.build_dir)
 
@@ -219,6 +235,63 @@ def main():
         print(f"wrote {args.solver_output} ({len(solver_rows)} rows)")
         worst = max(r["portfolio_gap_pct"] for r in solver_rows)
         print(f"worst mean portfolio gap: {worst:.2f}%")
+
+    if args.csr_output:
+        csr_out = run_binary(
+            build / "bench_csr",
+            [
+                "--csv",
+                "--min-n", str(args.min_n),
+                "--max-n", str(args.max_n),
+                "--players", str(args.players),
+                "--seed", str(args.seed),
+                "--large-n", str(args.csr_large_n),
+            ],
+        )
+        csr_rows = []
+        for record in parse_csv_table(csr_out, "family"):
+            csr_rows.append(
+                {
+                    "family": record["family"],
+                    "n": int(record["n"]),
+                    "version": record["version"],
+                    "swaps": int(record["swaps"]),
+                    "vector_ms": float(record["vector_ms"]),
+                    "csr_ms": float(record["csr_ms"]),
+                    "speedup": float(record["speedup"]),
+                }
+            )
+        large_rows = []
+        for record in parse_csv_table(csr_out, "phase"):
+            large_rows.append(
+                {
+                    "phase": record["phase"],
+                    "n": int(record["n"]),
+                    "queries": int(record["queries"]),
+                    "ms_per_query": float(record["ms_per_query"]),
+                    "footprint_mb": float(record["footprint_mb"]),
+                    "flat": int(record["flat"]),
+                }
+            )
+        if not csr_rows and not large_rows:
+            print("error: no CSV rows parsed from bench_csr output:", file=sys.stderr)
+            print(csr_out, file=sys.stderr)
+            sys.exit(2)
+        csr_payload = {
+            "bench": "csr",
+            "host": host_metadata(build),
+            "config": {
+                "min_n": args.min_n,
+                "max_n": args.max_n,
+                "players": args.players,
+                "seed": args.seed,
+                "large_n": args.csr_large_n,
+            },
+            "rows": csr_rows,
+            "large_n_rows": large_rows,
+        }
+        pathlib.Path(args.csr_output).write_text(json.dumps(csr_payload, indent=2) + "\n")
+        print(f"wrote {args.csr_output} ({len(csr_rows)} + {len(large_rows)} rows)")
 
 
 if __name__ == "__main__":

@@ -198,17 +198,17 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
   switch (task) {
     case TaskKind::Dynamics:
     case TaskKind::Poa:
-      known = {"max_rounds", "exact_limit", "schedule", "policy", "incremental",
-               "solver",     "solver_budget"};
+      known = {"max_rounds", "exact_limit", "schedule",       "policy",
+               "incremental", "graph_core",  "solver",         "solver_budget"};
       break;
     case TaskKind::SwapEquilibrium:
-      known = {"incremental"};
+      known = {"incremental", "graph_core"};
       break;
     case TaskKind::Audit:
       known = {"exact_limit", "swap_limit", "compute_connectivity"};
       break;
     case TaskKind::NashAudit:
-      known = {"incremental", "solver", "solver_budget"};
+      known = {"incremental", "graph_core", "solver", "solver_budget"};
       break;
   }
   for (const auto& [key, value] : object->members()) {
@@ -228,6 +228,15 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
       params.policy = parse_policy(value.as_string(), where);
     } else if (key == "incremental") {
       params.incremental = value.as_bool();
+    } else if (key == "graph_core") {
+      const std::string name = value.as_string();
+      if (name == "csr") {
+        params.graph_core = GraphCore::kCsr;
+      } else if (name == "vector") {
+        params.graph_core = GraphCore::kVector;
+      } else {
+        spec_error(where, "graph_core must be \"csr\" or \"vector\", got \"" + name + "\"");
+      }
     } else if (key == "compute_connectivity") {
       params.compute_connectivity = value.as_bool();
     } else if (key == "solver") {

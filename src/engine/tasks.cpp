@@ -56,6 +56,7 @@ DynamicsConfig dynamics_config(const ScenarioSpec& scenario, Rng& rng) {
   config.exact_limit = scenario.params.exact_limit;
   config.seed = rng();  // fresh stream for the schedule, after generator draws
   config.incremental = scenario.params.incremental;
+  config.graph_core = scenario.params.graph_core;
   config.solver = scenario.params.solver.empty() ? default_solver(scenario.task)
                                                  : scenario.params.solver;
   config.solver_node_limit = scenario.params.solver_node_limit;
@@ -100,8 +101,9 @@ void run_poa(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& in
 
 void run_swap_equilibrium(JsonWriter& writer, const ScenarioSpec& scenario,
                           const Digraph& initial) {
-  const EquilibriumReport report = verify_swap_equilibrium(
-      initial, scenario.version, /*pool=*/nullptr, scenario.params.incremental);
+  const EquilibriumReport report =
+      verify_swap_equilibrium(initial, scenario.version, /*pool=*/nullptr,
+                              scenario.params.incremental, scenario.params.graph_core);
   writer.field("stable", report.stable)
       .field("strategies_checked", report.strategies_checked)
       .field("bfs_avoided", report.bfs_avoided);
@@ -123,6 +125,7 @@ void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digr
       scenario.params.solver_node_limit > 0 ? scenario.params.solver_node_limit : 200'000;
   budget.deadline_seconds = static_cast<double>(scenario.params.solver_deadline_ms) / 1000.0;
   budget.incremental = scenario.params.incremental;
+  budget.core = scenario.params.graph_core;
   const std::string solver = scenario.params.solver.empty() ? default_solver(scenario.task)
                                                             : scenario.params.solver;
   const NashReport report = verify_nash_equilibrium(initial, scenario.version, budget, solver);

@@ -73,7 +73,11 @@ BestResponse BestResponseSolver::exact(const Digraph& g, Vertex u, ThreadPool* p
   return result;
 }
 
-BestResponse BestResponseSolver::greedy(const Digraph& g, Vertex u) const {
+namespace {
+
+/// Greedy's incremental branch, shared by both graph cores.
+template <class GraphT>
+BestResponse greedy_delta(const Digraph& g, Vertex u, CostVersion version) {
   const std::uint32_t n = g.num_vertices();
   const std::uint32_t b = g.out_degree(u);
 
@@ -85,40 +89,58 @@ BestResponse BestResponseSolver::greedy(const Digraph& g, Vertex u) const {
   std::vector<bool> used(n, false);
   used[u] = true;
 
+  DeltaEvaluatorT<GraphT> eval(g, u, version);
+  result.current_cost = eval.current_cost();
+  // Greedy builds from the empty strategy: strip the incumbent heads, then
+  // score each extension as one insert/delete pair on the oracle.
+  for (const Vertex h : eval.current_strategy()) eval.remove_head(h);
+  for (std::uint32_t step = 0; step < b; ++step) {
+    Vertex best_target = kUnreachable;
+    std::uint64_t best_cost = ~0ULL;
+    for (Vertex t = 0; t < n; ++t) {
+      if (used[t]) continue;
+      const std::uint64_t cost = eval.cost_with_head(t);
+      ++result.evaluated;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_target = t;
+      }
+    }
+    BBNG_ASSERT(best_target != kUnreachable);
+    strategy.push_back(best_target);
+    used[best_target] = true;
+    eval.add_head(best_target);
+  }
+  std::sort(strategy.begin(), strategy.end());
+  // Snapshot before the closing bookkeeping query so bfs_avoided never
+  // exceeds `evaluated` (the header promises evaluated − bfs_avoided is a
+  // valid count of full-BFS-equivalent evaluations).
+  result.bfs_avoided = eval.bfs_avoided();
+  result.cost = eval.cost();
+  result.strategy = std::move(strategy);
+  return result;
+}
+
+}  // namespace
+
+BestResponse BestResponseSolver::greedy(const Digraph& g, Vertex u) const {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t b = g.out_degree(u);
+
   // delta_scan_degenerate players probe from empty seed sets, where the
   // naive evaluator's tighter BFS loop wins; results are identical.
   if (incremental_ && !delta_scan_degenerate(g, u)) {
-    DeltaEvaluator eval(g, u, version_);
-    result.current_cost = eval.current_cost();
-    // Greedy builds from the empty strategy: strip the incumbent heads, then
-    // score each extension as one insert/delete pair on the oracle.
-    for (const Vertex h : eval.current_strategy()) eval.remove_head(h);
-    for (std::uint32_t step = 0; step < b; ++step) {
-      Vertex best_target = kUnreachable;
-      std::uint64_t best_cost = ~0ULL;
-      for (Vertex t = 0; t < n; ++t) {
-        if (used[t]) continue;
-        const std::uint64_t cost = eval.cost_with_head(t);
-        ++result.evaluated;
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_target = t;
-        }
-      }
-      BBNG_ASSERT(best_target != kUnreachable);
-      strategy.push_back(best_target);
-      used[best_target] = true;
-      eval.add_head(best_target);
-    }
-    std::sort(strategy.begin(), strategy.end());
-    // Snapshot before the closing bookkeeping query so bfs_avoided never
-    // exceeds `evaluated` (the header promises evaluated − bfs_avoided is a
-    // valid count of full-BFS-equivalent evaluations).
-    result.bfs_avoided = eval.bfs_avoided();
-    result.cost = eval.cost();
-    result.strategy = std::move(strategy);
-    return result;
+    return core_ == GraphCore::kCsr ? greedy_delta<CsrUGraph>(g, u, version_)
+                                    : greedy_delta<UGraph>(g, u, version_);
   }
+
+  BestResponse result;
+  result.evaluated = 0;
+  result.exact = (b == 0);
+
+  std::vector<Vertex> strategy;
+  std::vector<bool> used(n, false);
+  used[u] = true;
 
   const StrategyEvaluator eval(g, u, version_);
   StrategyEvaluator::Scratch scratch(n);
@@ -148,8 +170,12 @@ BestResponse BestResponseSolver::greedy(const Digraph& g, Vertex u) const {
   return result;
 }
 
-BestResponse BestResponseSolver::swap_improve(const Digraph& g, Vertex u,
-                                              std::optional<std::vector<Vertex>> start) const {
+namespace {
+
+/// swap_improve's incremental branch, shared by both graph cores.
+template <class GraphT>
+BestResponse swap_improve_delta(const Digraph& g, Vertex u, CostVersion version,
+                                std::optional<std::vector<Vertex>> start) {
   const std::uint32_t n = g.num_vertices();
 
   BestResponse result;
@@ -159,51 +185,69 @@ BestResponse BestResponseSolver::swap_improve(const Digraph& g, Vertex u,
   std::vector<bool> used(n, false);
   used[u] = true;
 
-  if (incremental_ && !delta_scan_degenerate(g, u)) {
-    DeltaEvaluator eval(g, u, version_);
-    result.current_cost = eval.current_cost();
-    std::vector<Vertex> strategy =
-        start.has_value() ? std::move(*start) : eval.current_strategy();
-    std::sort(strategy.begin(), strategy.end());
-    // Reconcile the oracle's head set (incumbent) with the start strategy.
-    for (const Vertex h : eval.current_strategy()) {
-      if (!std::binary_search(strategy.begin(), strategy.end(), h)) eval.remove_head(h);
-    }
-    for (const Vertex h : strategy) {
-      used[h] = true;
-      if (!eval.has_head(h)) eval.add_head(h);
-    }
-    std::uint64_t cost = eval.cost();
-
-    bool improved = true;
-    while (improved) {
-      improved = false;
-      for (std::size_t i = 0; i < strategy.size() && !improved; ++i) {
-        // Drop head i once, then each candidate swap is insert+delete.
-        const Vertex old_head = strategy[i];
-        eval.remove_head(old_head);
-        for (Vertex t = 0; t < n && !improved; ++t) {
-          if (used[t]) continue;
-          const std::uint64_t trial_cost = eval.cost_with_head(t);
-          ++result.evaluated;
-          if (trial_cost < cost) {
-            eval.add_head(t);  // commit the probed swap; restart the scan
-            used[old_head] = false;
-            used[t] = true;
-            strategy[i] = t;
-            cost = trial_cost;
-            improved = true;
-          }
-        }
-        if (!improved) eval.add_head(old_head);
-      }
-    }
-    std::sort(strategy.begin(), strategy.end());
-    result.strategy = std::move(strategy);
-    result.cost = cost;
-    result.bfs_avoided = eval.bfs_avoided();
-    return result;
+  DeltaEvaluatorT<GraphT> eval(g, u, version);
+  result.current_cost = eval.current_cost();
+  std::vector<Vertex> strategy =
+      start.has_value() ? std::move(*start) : eval.current_strategy();
+  std::sort(strategy.begin(), strategy.end());
+  // Reconcile the oracle's head set (incumbent) with the start strategy.
+  for (const Vertex h : eval.current_strategy()) {
+    if (!std::binary_search(strategy.begin(), strategy.end(), h)) eval.remove_head(h);
   }
+  for (const Vertex h : strategy) {
+    used[h] = true;
+    if (!eval.has_head(h)) eval.add_head(h);
+  }
+  std::uint64_t cost = eval.cost();
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < strategy.size() && !improved; ++i) {
+      // Drop head i once, then each candidate swap is insert+delete.
+      const Vertex old_head = strategy[i];
+      eval.remove_head(old_head);
+      for (Vertex t = 0; t < n && !improved; ++t) {
+        if (used[t]) continue;
+        const std::uint64_t trial_cost = eval.cost_with_head(t);
+        ++result.evaluated;
+        if (trial_cost < cost) {
+          eval.add_head(t);  // commit the probed swap; restart the scan
+          used[old_head] = false;
+          used[t] = true;
+          strategy[i] = t;
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+      if (!improved) eval.add_head(old_head);
+    }
+  }
+  std::sort(strategy.begin(), strategy.end());
+  result.strategy = std::move(strategy);
+  result.cost = cost;
+  result.bfs_avoided = eval.bfs_avoided();
+  return result;
+}
+
+}  // namespace
+
+BestResponse BestResponseSolver::swap_improve(const Digraph& g, Vertex u,
+                                              std::optional<std::vector<Vertex>> start) const {
+  const std::uint32_t n = g.num_vertices();
+
+  if (incremental_ && !delta_scan_degenerate(g, u)) {
+    return core_ == GraphCore::kCsr
+               ? swap_improve_delta<CsrUGraph>(g, u, version_, std::move(start))
+               : swap_improve_delta<UGraph>(g, u, version_, std::move(start));
+  }
+
+  BestResponse result;
+  result.evaluated = 1;
+  result.exact = false;
+
+  std::vector<bool> used(n, false);
+  used[u] = true;
 
   const StrategyEvaluator eval(g, u, version_);
   StrategyEvaluator::Scratch scratch(n);
@@ -246,7 +290,8 @@ BestResponse BestResponseSolver::solve(const Digraph& g, Vertex u, ThreadPool* p
   // The ladder body lives in the solver registry's "swap" backend
   // (solver/swap_ladder.hpp), so this entry point and every registry
   // consumer share one bit-identical implementation.
-  const SolverBudget budget{/*deadline_seconds=*/0, /*node_limit=*/exact_limit_, incremental_};
+  const SolverBudget budget{/*deadline_seconds=*/0, /*node_limit=*/exact_limit_, incremental_,
+                            core_};
   return to_best_response(find_solver("swap").solve(g, u, version_, budget, pool));
 }
 

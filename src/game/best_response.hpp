@@ -50,17 +50,18 @@ struct BestResponse {
 class BestResponseSolver {
  public:
   /// `exact_limit` caps the number of candidates full enumeration may score.
-  /// `incremental` routes greedy/swap scoring through DeltaEvaluator (the
+  /// `incremental` routes greedy/swap scoring through DeltaEvaluatorT (the
   /// dynamic-BFS oracle); the naive per-candidate multi-source BFS stays
-  /// available for differential testing. Both paths return bit-identical
-  /// costs and strategies.
+  /// available for differential testing. `core` picks the oracle's graph
+  /// core. All paths return bit-identical costs and strategies.
   explicit BestResponseSolver(CostVersion version, std::uint64_t exact_limit = 2'000'000,
-                              bool incremental = true)
-      : version_(version), exact_limit_(exact_limit), incremental_(incremental) {}
+                              bool incremental = true, GraphCore core = GraphCore::kCsr)
+      : version_(version), exact_limit_(exact_limit), incremental_(incremental), core_(core) {}
 
   [[nodiscard]] CostVersion version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t exact_limit() const noexcept { return exact_limit_; }
   [[nodiscard]] bool incremental() const noexcept { return incremental_; }
+  [[nodiscard]] GraphCore core() const noexcept { return core_; }
 
   /// Number of candidate strategies of player u (C(n-1, b_u), clamped).
   [[nodiscard]] static std::uint64_t candidate_count(const Digraph& g, Vertex u);
@@ -88,6 +89,7 @@ class BestResponseSolver {
   CostVersion version_;
   std::uint64_t exact_limit_;
   bool incremental_;
+  GraphCore core_;
 };
 
 }  // namespace bbng

@@ -19,10 +19,11 @@ namespace {
 /// `bfs_avoided` accumulates oracle-served scores.
 std::optional<std::vector<Vertex>> first_improving_swap(const Digraph& g, Vertex u,
                                                         CostVersion version, bool incremental,
+                                                        GraphCore core,
                                                         std::uint64_t& bfs_avoided) {
   const std::uint32_t n = g.num_vertices();
   if (incremental) {
-    SwapScanResult scan = scan_first_improving_swap(g, u, version);
+    SwapScanResult scan = scan_first_improving_swap(g, u, version, core);
     bfs_avoided += scan.bfs_avoided;
     if (scan.found) return std::move(scan.strategy);
     return std::nullopt;
@@ -56,7 +57,7 @@ DynamicsResult run_best_response_dynamics(const Digraph& initial, const Dynamics
   const SolverBudget budget{
       config.solver_deadline_seconds,
       config.solver_node_limit > 0 ? config.solver_node_limit : config.exact_limit,
-      config.incremental};
+      config.incremental, config.graph_core};
   // Certified backends answer identical queries during a run (a player whose
   // relevant neighbourhood did not change between visits); the cache makes
   // those hits free.
@@ -88,7 +89,7 @@ DynamicsResult run_best_response_dynamics(const Digraph& initial, const Dynamics
       std::vector<Vertex> next_strategy;
       if (config.policy == MovePolicy::FirstImprovingSwap) {
         auto swap = first_improving_swap(result.graph, u, config.version, config.incremental,
-                                         result.bfs_avoided);
+                                         config.graph_core, result.bfs_avoided);
         result.all_moves_exact = false;  // swap moves never certify Nash
         if (!swap) continue;
         next_strategy = std::move(*swap);

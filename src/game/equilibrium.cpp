@@ -64,7 +64,7 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
 }
 
 EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
-                                          ThreadPool* pool, bool incremental) {
+                                          ThreadPool* pool, bool incremental, GraphCore core) {
   const std::uint32_t n = g.num_vertices();
   EquilibriumReport report;
 
@@ -107,7 +107,7 @@ EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
     // path (so strategies_checked also matches it).
     for (Vertex u = 0; u < n; ++u) {
       if (g.out_degree(u) == 0) continue;
-      SwapScanResult scan = scan_first_improving_swap(g, u, version);
+      SwapScanResult scan = scan_first_improving_swap(g, u, version, core);
       report.strategies_checked += scan.checked;
       report.bfs_avoided += scan.bfs_avoided;
       if (scan.found) {
@@ -136,7 +136,7 @@ EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
     const auto u = static_cast<Vertex>(index);
     if (g.out_degree(u) == 0) return;
     if (u >= best_vertex.load(std::memory_order_relaxed)) return;
-    SwapScanResult scan = scan_first_improving_swap(g, u, version);
+    SwapScanResult scan = scan_first_improving_swap(g, u, version, core);
     checked.fetch_add(scan.checked, std::memory_order_relaxed);
     avoided.fetch_add(scan.bfs_avoided, std::memory_order_relaxed);
     if (!scan.found) return;

@@ -53,9 +53,12 @@ struct EquilibriumReport {
 /// first improving swap in scan order, independent of `pool` width — but the
 /// parallel sweep may score more candidates than the sequential early exit,
 /// so `strategies_checked` is a work stat, not a deterministic count.
+/// `core` picks the incremental oracle's graph core (bit-identical verdicts;
+/// ignored on the naive path).
 [[nodiscard]] EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
                                                         ThreadPool* pool = nullptr,
-                                                        bool incremental = true);
+                                                        bool incremental = true,
+                                                        GraphCore core = GraphCore::kCsr);
 
 /// Certified Nash / ε-Nash verdict from the solver subsystem.
 ///

@@ -5,12 +5,7 @@
 #include "graph/connectivity.hpp"
 
 namespace bbng {
-namespace {
 
-/// Add underlying(G) minus every edge incident to `player` into `base`
-/// (which may have extra trailing vertices; they stay isolated). Both
-/// evaluators derive their metric substrate through this one helper so they
-/// cannot silently diverge.
 void add_stripped_underlying(const Digraph& g, Vertex player, UGraph& base) {
   BBNG_REQUIRE(player < g.num_vertices());
   BBNG_REQUIRE(base.num_vertices() >= g.num_vertices());
@@ -22,17 +17,6 @@ void add_stripped_underlying(const Digraph& g, Vertex player, UGraph& base) {
   }
 }
 
-/// Players owning an arc into `player` (the fixed half of the seed set).
-std::vector<Vertex> collect_in_neighbors(const Digraph& g, Vertex player) {
-  std::vector<Vertex> in;
-  for (Vertex w = 0; w < g.num_vertices(); ++w) {
-    if (w != player && g.has_arc(w, player)) in.push_back(w);
-  }
-  return in;
-}
-
-}  // namespace
-
 UGraph best_response_base(const Digraph& g, Vertex player) {
   UGraph base(g.num_vertices());
   add_stripped_underlying(g, player, base);
@@ -41,14 +25,18 @@ UGraph best_response_base(const Digraph& g, Vertex player) {
 
 std::vector<Vertex> player_in_neighbors(const Digraph& g, Vertex player) {
   BBNG_REQUIRE(player < g.num_vertices());
-  return collect_in_neighbors(g, player);
+  std::vector<Vertex> in;
+  for (Vertex w = 0; w < g.num_vertices(); ++w) {
+    if (w != player && g.has_arc(w, player)) in.push_back(w);
+  }
+  return in;
 }
 
 StrategyEvaluator::StrategyEvaluator(const Digraph& g, Vertex player, CostVersion version)
     : player_(player), version_(version), n_(g.num_vertices()), base_(g.num_vertices()) {
   BBNG_REQUIRE(player < n_);
   add_stripped_underlying(g, player_, base_);
-  in_neighbors_ = collect_in_neighbors(g, player_);
+  in_neighbors_ = player_in_neighbors(g, player_);
 
   const Components comps = connected_components(base_);
   comp_ = comps.id;
@@ -111,122 +99,10 @@ std::uint64_t StrategyEvaluator::evaluate(std::span<const Vertex> strategy,
 }
 
 // ---------------------------------------------------------------------------
-// DeltaEvaluator
+// DeltaEvaluatorT — anchor both graph-core instantiations in this TU.
 
-UGraph DeltaEvaluator::build_base(const Digraph& g, Vertex player) {
-  // n+1 vertices: underlying(G) minus `player`'s edges, plus the (still
-  // isolated) virtual super-source at index n. Seed edges are inserted
-  // through the oracle afterwards so the BFS tree grows incrementally.
-  UGraph base(g.num_vertices() + 1);
-  add_stripped_underlying(g, player, base);
-  return base;
-}
-
-DeltaEvaluator::DeltaEvaluator(const Digraph& g, Vertex player, CostVersion version,
-                               std::uint32_t rebuild_threshold)
-    : player_(player),
-      version_(version),
-      n_(g.num_vertices()),
-      vsrc_(n_),
-      // MAX needs the oracle's per-level counts for max_dist(); SUM skips
-      // that bookkeeping on every label change.
-      bfs_(build_base(g, player), vsrc_, rebuild_threshold, version == CostVersion::Max),
-      is_head_(n_, 0),
-      seed_mult_(n_, 0),
-      seed_pos_(n_, kUnreachable) {
-  // Component bookkeeping on the seedless base: the count includes the
-  // player's empty slot and the isolated super-source, hence the −2.
-  const Components comps = connected_components(bfs_.graph());
-  comp_ = comps.id;
-  comp_hit_.assign(comps.count, 0);
-  BBNG_ASSERT(comps.count >= 2);
-  base_components_ = comps.count - 2;
-
-  in_neighbors_ = collect_in_neighbors(g, player_);
-  for (const Vertex w : in_neighbors_) {
-    if (++seed_mult_[w] == 1) {
-      seed_pos_[w] = static_cast<std::uint32_t>(seed_list_.size());
-      seed_list_.push_back(w);
-      bfs_.insert_edge(vsrc_, w);
-    }
-  }
-  current_strategy_.assign(g.out_neighbors(player_).begin(), g.out_neighbors(player_).end());
-  for (const Vertex h : current_strategy_) add_head(h);
-  current_cost_ = cost();
-  evaluations_ = 0;  // construction does not count as a query
-}
-
-void DeltaEvaluator::add_head(Vertex t) {
-  BBNG_REQUIRE_MSG(t != player_, "strategy head equals the player");
-  BBNG_REQUIRE(t < n_);
-  BBNG_REQUIRE_MSG(is_head_[t] == 0, "head already present");
-  is_head_[t] = 1;
-  if (++seed_mult_[t] == 1) {
-    seed_pos_[t] = static_cast<std::uint32_t>(seed_list_.size());
-    seed_list_.push_back(t);
-    bfs_.insert_edge(vsrc_, t);
-  }
-}
-
-void DeltaEvaluator::remove_head(Vertex h) {
-  BBNG_REQUIRE(h < n_);
-  BBNG_REQUIRE_MSG(is_head_[h] != 0, "head not present");
-  is_head_[h] = 0;
-  if (--seed_mult_[h] == 0) {
-    const std::uint32_t pos = seed_pos_[h];
-    const Vertex last = seed_list_.back();
-    seed_list_[pos] = last;
-    seed_pos_[last] = pos;
-    seed_list_.pop_back();
-    seed_pos_[h] = kUnreachable;
-    bfs_.delete_edge(vsrc_, h);
-  }
-}
-
-std::uint64_t DeltaEvaluator::cost() {
-  ++evaluations_;
-  const std::uint64_t inf = cinf(n_);
-  if (version_ == CostVersion::Sum) {
-    // Every vertex the oracle reaches (bar vsrc itself) sits at its exact
-    // game distance from the player; the player is never reached.
-    const std::uint64_t unreached = n_ - bfs_.reached();
-    return bfs_.sum_dist() + unreached * inf;
-  }
-  // MAX: κ − 1 = base components containing no current seed.
-  ++epoch_;
-  std::uint32_t seeded_components = 0;
-  for (const Vertex s : seed_list_) {
-    const std::uint32_t c = comp_[s];
-    if (comp_hit_[c] != epoch_) {
-      comp_hit_[c] = epoch_;
-      ++seeded_components;
-    }
-  }
-  const std::uint32_t unseeded = base_components_ - seeded_components;
-  if (unseeded == 0) return bfs_.max_dist();  // local diameter; κ == 1
-  return inf + static_cast<std::uint64_t>(unseeded) * inf;
-}
-
-std::uint64_t DeltaEvaluator::cost_with_head(Vertex t) {
-  BBNG_REQUIRE_MSG(t != player_, "strategy head equals the player");
-  BBNG_REQUIRE(t < n_);
-  BBNG_REQUIRE_MSG(is_head_[t] == 0, "head already present");
-  if (seed_mult_[t] > 0) return cost();  // already seeded via an in-neighbour
-  bfs_.begin_trial();
-  bfs_.insert_edge(vsrc_, t);
-  seed_list_.push_back(t);  // seed_pos_ untouched: popped before any removal
-  const std::uint64_t probed = cost();
-  seed_list_.pop_back();
-  bfs_.rollback_trial();
-  return probed;
-}
-
-std::uint64_t DeltaEvaluator::evaluate_swap(Vertex removed, Vertex added) {
-  remove_head(removed);
-  const std::uint64_t swapped = cost_with_head(added);
-  add_head(removed);
-  return swapped;
-}
+template class DeltaEvaluatorT<UGraph>;
+template class DeltaEvaluatorT<CsrUGraph>;
 
 bool delta_scan_degenerate(const Digraph& g, Vertex player) {
   BBNG_REQUIRE(player < g.num_vertices());
@@ -237,11 +113,52 @@ bool delta_scan_degenerate(const Digraph& g, Vertex player) {
   return true;
 }
 
-SwapScanResult scan_first_improving_swap(const Digraph& g, Vertex player, CostVersion version) {
+namespace {
+
+/// The non-degenerate scan body, shared by both graph cores (the scan order
+/// and early exit are part of the library's determinism contract; only the
+/// evaluator's storage differs).
+template <class GraphT>
+SwapScanResult delta_scan(const Digraph& g, Vertex player, CostVersion version) {
   const std::uint32_t n = g.num_vertices();
   SwapScanResult scan;
+  DeltaEvaluatorT<GraphT> eval(g, player, version);
+  const std::uint64_t base_cost = eval.current_cost();
+  const std::vector<Vertex>& strategy = eval.current_strategy();
+  std::vector<bool> used(n, false);
+  for (const Vertex h : strategy) used[h] = true;
+  used[player] = true;
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    const Vertex old_head = strategy[i];
+    eval.remove_head(old_head);
+    for (Vertex t = 0; t < n; ++t) {
+      if (used[t]) continue;
+      const std::uint64_t cost = eval.cost_with_head(t);
+      ++scan.checked;
+      if (cost < base_cost) {
+        scan.found = true;
+        scan.strategy = strategy;
+        scan.strategy[i] = t;
+        scan.old_cost = base_cost;
+        scan.new_cost = cost;
+        scan.bfs_avoided = eval.bfs_avoided();
+        return scan;
+      }
+    }
+    eval.add_head(old_head);
+  }
+  scan.bfs_avoided = eval.bfs_avoided();
+  return scan;
+}
+
+}  // namespace
+
+SwapScanResult scan_first_improving_swap(const Digraph& g, Vertex player, CostVersion version,
+                                         GraphCore core) {
+  const std::uint32_t n = g.num_vertices();
 
   if (delta_scan_degenerate(g, player)) {
+    SwapScanResult scan;
     const StrategyEvaluator eval(g, player, version);
     StrategyEvaluator::Scratch scratch(n);
     const std::uint64_t base_cost = eval.current_cost();
@@ -269,33 +186,8 @@ SwapScanResult scan_first_improving_swap(const Digraph& g, Vertex player, CostVe
     return scan;
   }
 
-  DeltaEvaluator eval(g, player, version);
-  const std::uint64_t base_cost = eval.current_cost();
-  const std::vector<Vertex>& strategy = eval.current_strategy();
-  std::vector<bool> used(n, false);
-  for (const Vertex h : strategy) used[h] = true;
-  used[player] = true;
-  for (std::size_t i = 0; i < strategy.size(); ++i) {
-    const Vertex old_head = strategy[i];
-    eval.remove_head(old_head);
-    for (Vertex t = 0; t < n; ++t) {
-      if (used[t]) continue;
-      const std::uint64_t cost = eval.cost_with_head(t);
-      ++scan.checked;
-      if (cost < base_cost) {
-        scan.found = true;
-        scan.strategy = strategy;
-        scan.strategy[i] = t;
-        scan.old_cost = base_cost;
-        scan.new_cost = cost;
-        scan.bfs_avoided = eval.bfs_avoided();
-        return scan;
-      }
-    }
-    eval.add_head(old_head);
-  }
-  scan.bfs_avoided = eval.bfs_avoided();
-  return scan;
+  return core == GraphCore::kCsr ? delta_scan<CsrUGraph>(g, player, version)
+                                 : delta_scan<UGraph>(g, player, version);
 }
 
 }  // namespace bbng

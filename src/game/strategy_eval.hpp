@@ -16,24 +16,50 @@
 // evaluate() is const and takes an external scratch object, so the exact
 // solver can score candidates from many threads concurrently.
 //
-// DeltaEvaluator is the incremental sibling: instead of one multi-source BFS
-// per candidate it maintains a DynamicBfs from a virtual super-source wired
-// to every seed (strategy heads ∪ in-neighbours), so a single-head swap is
-// two dynamic edge operations whose cost is proportional to the region of
-// the graph whose distance actually changes — not to the whole graph.
+// DeltaEvaluatorT is the incremental sibling: instead of one multi-source
+// BFS per candidate it maintains a dynamic BFS from a virtual super-source
+// wired to every seed (strategy heads ∪ in-neighbours), so a single-head
+// swap is two dynamic edge operations whose cost is proportional to the
+// region of the graph whose distance actually changes — not to the whole
+// graph. It is a template over the graph core: DeltaEvaluator (= UGraph)
+// keeps the vector-adjacency reference semantics, CsrDeltaEvaluator
+// (= CsrUGraph) runs the same algorithm on the flat CSR arena; both produce
+// bit-identical costs and counters, and GraphCore (graph/csr_graph.hpp)
+// selects between them at the consumer API boundary.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "game/game.hpp"
 #include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "graph/dynamic_bfs.hpp"
 #include "graph/ugraph.hpp"
 
 namespace bbng {
+
+/// The metric substrate both evaluators (and the solver subsystem's bound
+/// machinery) score candidates on: underlying(G) with every edge incident to
+/// `player` removed, so `player` is an isolated vertex. All u–v distances of
+/// a candidate strategy S factor through this graph as
+/// 1 + dist_base(S ∪ In(u), v).
+[[nodiscard]] UGraph best_response_base(const Digraph& g, Vertex player);
+
+/// Players owning an arc into `player` — the fixed half of the seed set that
+/// every candidate strategy of `player` inherits for free.
+[[nodiscard]] std::vector<Vertex> player_in_neighbors(const Digraph& g, Vertex player);
+
+/// Add underlying(G) minus every edge incident to `player` into `base`
+/// (which may have extra trailing vertices; they stay isolated). Both
+/// evaluators derive their metric substrate through this one helper (the CSR
+/// core through the equivalent underlying_csr) so they cannot silently
+/// diverge.
+void add_stripped_underlying(const Digraph& g, Vertex player, UGraph& base);
 
 class StrategyEvaluator {
  public:
@@ -83,20 +109,56 @@ class StrategyEvaluator {
 ///     dist_{G[u←S]}(u, v) = dist_aug(vsrc, v)   for every v ≠ u,
 ///
 /// and swapping head h for head t is delete(vsrc,h) + insert(vsrc,t) on the
-/// DynamicBfs — no from-scratch BFS. Seeds are reference-counted because a
-/// head that is also an in-neighbour keeps its super-source edge when the
+/// dynamic oracle — no from-scratch BFS. Seeds are reference-counted because
+/// a head that is also an in-neighbour keeps its super-source edge when the
 /// head is dropped. Aggregates come from the oracle in O(1); the MAX
 /// version's (κ−1)n² term reuses the precomputed component ids exactly like
 /// StrategyEvaluator. Results agree bit-for-bit with
-/// StrategyEvaluator::evaluate (tests/test_delta_eval.cpp enforces this).
+/// StrategyEvaluator::evaluate AND across graph cores
+/// (tests/test_delta_eval.cpp and tests/test_csr_graph.cpp enforce this).
 ///
-/// A DeltaEvaluator is stateful and single-threaded; parallel sweeps build
+/// A DeltaEvaluatorT is stateful and single-threaded; parallel sweeps build
 /// one per worker (see verify_swap_equilibrium).
-class DeltaEvaluator {
+template <class GraphT>
+class DeltaEvaluatorT {
  public:
-  /// `rebuild_threshold` is forwarded to DynamicBfs (0 = auto).
-  DeltaEvaluator(const Digraph& g, Vertex player, CostVersion version,
-                 std::uint32_t rebuild_threshold = 0);
+  /// `rebuild_threshold` is forwarded to the dynamic oracle (0 = auto).
+  /// `scratch` (optional, not owned, must outlive the evaluator) shares one
+  /// worker's Workspace arena with the oracle.
+  DeltaEvaluatorT(const Digraph& g, Vertex player, CostVersion version,
+                  std::uint32_t rebuild_threshold = 0, Workspace* scratch = nullptr)
+      : player_(player),
+        version_(version),
+        n_(g.num_vertices()),
+        vsrc_(n_),
+        // MAX needs the oracle's per-level counts for max_dist(); SUM skips
+        // that bookkeeping on every label change.
+        bfs_(build_base(g, player), vsrc_, rebuild_threshold, version == CostVersion::Max,
+             scratch),
+        is_head_(n_, 0),
+        seed_mult_(n_, 0),
+        seed_pos_(n_, kUnreachable) {
+    // Component bookkeeping on the seedless base: the count includes the
+    // player's empty slot and the isolated super-source, hence the −2.
+    const Components comps = connected_components(bfs_.graph());
+    comp_ = comps.id;
+    comp_hit_.assign(comps.count, 0);
+    BBNG_ASSERT(comps.count >= 2);
+    base_components_ = comps.count - 2;
+
+    in_neighbors_ = player_in_neighbors(g, player_);
+    for (const Vertex w : in_neighbors_) {
+      if (++seed_mult_[w] == 1) {
+        seed_pos_[w] = static_cast<std::uint32_t>(seed_list_.size());
+        seed_list_.push_back(w);
+        bfs_.insert_edge(vsrc_, w);
+      }
+    }
+    current_strategy_.assign(g.out_neighbors(player_).begin(), g.out_neighbors(player_).end());
+    for (const Vertex h : current_strategy_) add_head(h);
+    current_cost_ = cost();
+    evaluations_ = 0;  // construction does not count as a query
+  }
 
   [[nodiscard]] Vertex player() const noexcept { return player_; }
   [[nodiscard]] CostVersion version() const noexcept { return version_; }
@@ -117,24 +179,86 @@ class DeltaEvaluator {
   }
 
   /// Add head t (must not be present, ≠ player). O(region improved).
-  void add_head(Vertex t);
+  void add_head(Vertex t) {
+    BBNG_REQUIRE_MSG(t != player_, "strategy head equals the player");
+    BBNG_REQUIRE(t < n_);
+    BBNG_REQUIRE_MSG(is_head_[t] == 0, "head already present");
+    is_head_[t] = 1;
+    if (++seed_mult_[t] == 1) {
+      seed_pos_[t] = static_cast<std::uint32_t>(seed_list_.size());
+      seed_list_.push_back(t);
+      bfs_.insert_edge(vsrc_, t);
+    }
+  }
 
   /// Remove head h (must be present). O(region invalidated), with the
   /// oracle's full-recompute fallback past its touched-vertex threshold.
-  void remove_head(Vertex h);
+  void remove_head(Vertex h) {
+    BBNG_REQUIRE(h < n_);
+    BBNG_REQUIRE_MSG(is_head_[h] != 0, "head not present");
+    is_head_[h] = 0;
+    if (--seed_mult_[h] == 0) {
+      const std::uint32_t pos = seed_pos_[h];
+      const Vertex last = seed_list_.back();
+      seed_list_[pos] = last;
+      seed_pos_[last] = pos;
+      seed_list_.pop_back();
+      seed_pos_[h] = kUnreachable;
+      bfs_.delete_edge(vsrc_, h);
+    }
+  }
 
   /// Cost of the present head set. O(1) for SUM; O(#seeds) for MAX.
-  [[nodiscard]] std::uint64_t cost();
+  [[nodiscard]] std::uint64_t cost() {
+    ++evaluations_;
+    const std::uint64_t inf = cinf(n_);
+    if (version_ == CostVersion::Sum) {
+      // Every vertex the oracle reaches (bar vsrc itself) sits at its exact
+      // game distance from the player; the player is never reached.
+      const std::uint64_t unreached = n_ - bfs_.reached();
+      return bfs_.sum_dist() + unreached * inf;
+    }
+    // MAX: κ − 1 = base components containing no current seed.
+    ++epoch_;
+    std::uint32_t seeded_components = 0;
+    for (const Vertex s : seed_list_) {
+      const std::uint32_t c = comp_[s];
+      if (comp_hit_[c] != epoch_) {
+        comp_hit_[c] = epoch_;
+        ++seeded_components;
+      }
+    }
+    const std::uint32_t unseeded = base_components_ - seeded_components;
+    if (unseeded == 0) return bfs_.max_dist();  // local diameter; κ == 1
+    return inf + static_cast<std::uint64_t>(unseeded) * inf;
+  }
 
   /// Cost of heads ∪ {t} WITHOUT committing: the insert runs as a journaled
   /// oracle trial and is rolled back before returning, so a probe costs one
   /// relaxation wave + O(touched) undo — never a deletion repair. This is
   /// the hot query of every swap scan (drop a head once, probe all targets).
-  [[nodiscard]] std::uint64_t cost_with_head(Vertex t);
+  [[nodiscard]] std::uint64_t cost_with_head(Vertex t) {
+    BBNG_REQUIRE_MSG(t != player_, "strategy head equals the player");
+    BBNG_REQUIRE(t < n_);
+    BBNG_REQUIRE_MSG(is_head_[t] == 0, "head already present");
+    if (seed_mult_[t] > 0) return cost();  // already seeded via an in-neighbour
+    bfs_.begin_trial();
+    bfs_.insert_edge(vsrc_, t);
+    seed_list_.push_back(t);  // seed_pos_ untouched: popped before any removal
+    const std::uint64_t probed = cost();
+    seed_list_.pop_back();
+    bfs_.rollback_trial();
+    return probed;
+  }
 
   /// Cost of (heads \ {removed}) ∪ {added}; the head set is restored before
   /// returning, so this is a pure query (4 dynamic edge operations).
-  [[nodiscard]] std::uint64_t evaluate_swap(Vertex removed, Vertex added);
+  [[nodiscard]] std::uint64_t evaluate_swap(Vertex removed, Vertex added) {
+    remove_head(removed);
+    const std::uint64_t swapped = cost_with_head(added);
+    add_head(removed);
+    return swapped;
+  }
 
   // ---- instrumentation ----
   /// cost() queries answered since construction.
@@ -146,16 +270,31 @@ class DeltaEvaluator {
     return evaluations_ > rebuilt ? evaluations_ - rebuilt : 0;
   }
   /// The underlying dynamic distance oracle (read-only introspection).
-  [[nodiscard]] const DynamicBfs& oracle() const noexcept { return bfs_; }
+  [[nodiscard]] const DynamicBfsT<GraphT>& oracle() const noexcept { return bfs_; }
 
  private:
-  [[nodiscard]] static UGraph build_base(const Digraph& g, Vertex player);
+  [[nodiscard]] static GraphT build_base(const Digraph& g, Vertex player) {
+    if constexpr (std::is_same_v<GraphT, UGraph>) {
+      // n+1 vertices: underlying(G) minus `player`'s edges, plus the (still
+      // isolated) virtual super-source at index n. Seed edges are inserted
+      // through the oracle afterwards so the BFS tree grows incrementally.
+      UGraph base(g.num_vertices() + 1);
+      add_stripped_underlying(g, player, base);
+      return base;
+    } else {
+      // CSR core: one O(n+m) merge of out/in rows per vertex, braces
+      // collapsed, `player` skipped. One slot of row slack absorbs the first
+      // seed insert per row; vsrc grows by amortised relocation after that.
+      return underlying_csr(CsrGraph(g), /*skip=*/player, /*extra_vertices=*/1,
+                            /*row_slack=*/1);
+    }
+  }
 
   Vertex player_;
   CostVersion version_;
   std::uint32_t n_;
   Vertex vsrc_;                        ///< virtual super-source id (= n_)
-  DynamicBfs bfs_;                     ///< oracle over base_ + seed edges
+  DynamicBfsT<GraphT> bfs_;            ///< oracle over base_ + seed edges
   std::vector<Vertex> in_neighbors_;   ///< players with an arc to `player`
   std::vector<std::uint32_t> comp_;    ///< component ids of the seedless base
   std::uint32_t base_components_ = 0;  ///< #components − player − vsrc slots
@@ -170,6 +309,14 @@ class DeltaEvaluator {
   std::uint64_t evaluations_ = 0;
 };
 
+/// The vector-adjacency reference evaluator (pre-CSR name, kept source
+/// compatible) and its flat-arena production sibling.
+using DeltaEvaluator = DeltaEvaluatorT<UGraph>;
+using CsrDeltaEvaluator = DeltaEvaluatorT<CsrUGraph>;
+
+extern template class DeltaEvaluatorT<UGraph>;
+extern template class DeltaEvaluatorT<CsrUGraph>;
+
 /// Result of one player's first-improving-swap scan (see below).
 struct SwapScanResult {
   bool found = false;
@@ -179,17 +326,6 @@ struct SwapScanResult {
   std::uint64_t checked = 0;      ///< candidate swaps scored before returning
   std::uint64_t bfs_avoided = 0;  ///< of those, served without a full BFS
 };
-
-/// The metric substrate both evaluators (and the solver subsystem's bound
-/// machinery) score candidates on: underlying(G) with every edge incident to
-/// `player` removed, so `player` is an isolated vertex. All u–v distances of
-/// a candidate strategy S factor through this graph as
-/// 1 + dist_base(S ∪ In(u), v).
-[[nodiscard]] UGraph best_response_base(const Digraph& g, Vertex player);
-
-/// Players owning an arc into `player` — the fixed half of the seed set that
-/// every candidate strategy of `player` inherits for free.
-[[nodiscard]] std::vector<Vertex> player_in_neighbors(const Digraph& g, Vertex player);
 
 /// True when swap-scanning `player` degrades the delta oracle to a full BFS
 /// per probe: with no in-arcs and at most one head, every scan position
@@ -207,9 +343,12 @@ struct SwapScanResult {
 /// FirstImprovingSwap policy and verify_swap_equilibrium, so their
 /// naive/incremental and sequential/parallel agreement guarantees hinge on
 /// every consumer routing through this helper rather than hand-copying the
-/// loop. Runs on the delta oracle, except for delta_scan_degenerate players,
-/// which take the (identical-result) naive evaluator.
+/// loop. Runs on the delta oracle of the requested graph core (CSR by
+/// default; the cores are bit-identical, so `core` is a performance knob,
+/// not a semantic one), except for delta_scan_degenerate players, which take
+/// the (identical-result) naive evaluator.
 [[nodiscard]] SwapScanResult scan_first_improving_swap(const Digraph& g, Vertex player,
-                                                       CostVersion version);
+                                                       CostVersion version,
+                                                       GraphCore core = GraphCore::kCsr);
 
 }  // namespace bbng

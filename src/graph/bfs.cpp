@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/csr_graph.hpp"
+
 namespace bbng {
 
 void BfsRunner::reset() {
@@ -9,60 +11,6 @@ void BfsRunner::reset() {
   reached_ = 0;
   max_dist_ = 0;
   sum_dist_ = 0;
-}
-
-void BfsRunner::run(const UGraph& g, Vertex source) {
-  const Vertex sources[1] = {source};
-  run_multi(g, sources);
-}
-
-void BfsRunner::run_multi(const UGraph& g, std::span<const Vertex> sources) {
-  BBNG_REQUIRE(g.num_vertices() == dist_.size());
-  reset();
-  std::size_t head = 0, tail = 0;
-  for (const Vertex s : sources) {
-    BBNG_REQUIRE(s < dist_.size());
-    if (dist_[s] != 0) {
-      dist_[s] = 0;
-      queue_[tail++] = s;
-    }
-  }
-  reached_ = static_cast<std::uint32_t>(tail);
-  while (head < tail) {
-    const Vertex u = queue_[head++];
-    const std::uint32_t du = dist_[u];
-    for (const Vertex v : g.neighbors(u)) {
-      if (dist_[v] != kUnreachable) continue;
-      dist_[v] = du + 1;
-      queue_[tail++] = v;
-      ++reached_;
-      max_dist_ = du + 1;
-      sum_dist_ += du + 1;
-    }
-  }
-}
-
-void BfsRunner::run_bounded(const UGraph& g, Vertex source, std::uint32_t target_radius) {
-  BBNG_REQUIRE(g.num_vertices() == dist_.size());
-  BBNG_REQUIRE(source < dist_.size());
-  reset();
-  std::size_t head = 0, tail = 0;
-  dist_[source] = 0;
-  queue_[tail++] = source;
-  reached_ = 1;
-  while (head < tail) {
-    const Vertex u = queue_[head++];
-    const std::uint32_t du = dist_[u];
-    if (du == target_radius) continue;
-    for (const Vertex v : g.neighbors(u)) {
-      if (dist_[v] != kUnreachable) continue;
-      dist_[v] = du + 1;
-      queue_[tail++] = v;
-      ++reached_;
-      max_dist_ = du + 1;
-      sum_dist_ += du + 1;
-    }
-  }
 }
 
 std::vector<std::uint32_t> bfs_distances(const UGraph& g, Vertex source) {
@@ -76,5 +24,13 @@ std::vector<std::uint32_t> bfs_distances_multi(const UGraph& g, std::span<const 
   runner.run_multi(g, sources);
   return {runner.dist().begin(), runner.dist().end()};
 }
+
+// Anchor the hot instantiations in one TU so every consumer links against
+// identical code for both cores.
+template void BfsRunner::run_multi<UGraph>(const UGraph&, std::span<const Vertex>);
+template void BfsRunner::run_multi<CsrUGraph>(const CsrUGraph&, std::span<const Vertex>);
+template BfsAggregates bfs_workspace<UGraph>(const UGraph&, std::span<const Vertex>, Workspace&);
+template BfsAggregates bfs_workspace<CsrUGraph>(const CsrUGraph&, std::span<const Vertex>,
+                                                Workspace&);
 
 }  // namespace bbng

@@ -32,9 +32,10 @@ Dinic build_split_network(const UGraph& g, Vertex s, Vertex t) {
   return net;
 }
 
-}  // namespace
-
-Components connected_components(const UGraph& g) {
+/// Shared component sweep: both graph cores expose neighbors(u) spans, and
+/// both keep them sorted, so the discovery-order ids are identical.
+template <class G>
+Components components_impl(const G& g) {
   const std::uint32_t n = g.num_vertices();
   Components result;
   result.id.assign(n, 0xffffffffU);
@@ -56,6 +57,12 @@ Components connected_components(const UGraph& g) {
   }
   return result;
 }
+
+}  // namespace
+
+Components connected_components(const UGraph& g) { return components_impl(g); }
+
+Components connected_components(const CsrUGraph& g) { return components_impl(g); }
 
 bool is_connected(const UGraph& g) {
   if (g.num_vertices() == 0) return true;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/ugraph.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -23,6 +24,7 @@ struct Components {
 };
 
 [[nodiscard]] Components connected_components(const UGraph& g);
+[[nodiscard]] Components connected_components(const CsrUGraph& g);
 [[nodiscard]] bool is_connected(const UGraph& g);
 
 /// Max number of internally vertex-disjoint u–v paths for non-adjacent u,v

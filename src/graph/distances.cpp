@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "parallel/parallel_for.hpp"
+#include "parallel/workspace.hpp"
 
 namespace bbng {
+namespace {
 
-EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) {
+/// Aggregate sweeps share one body across graph cores. Workers lease a
+/// Workspace from the shared pool per chunk and sweep with bfs_workspace(),
+/// so steady-state sweeps allocate nothing (the pool grows to the peak
+/// worker count once, then only recycles).
+template <class G>
+EccentricityResult ecc_impl(const G& g, ThreadPool* pool) {
   const std::uint32_t n = g.num_vertices();
   EccentricityResult result;
   result.ecc.assign(n, kUnreachable);
@@ -19,13 +26,13 @@ EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) {
   std::atomic<bool> connected{true};
   const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
                                                                       std::uint64_t end) {
-    BfsRunner runner(n);
+    const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
     for (std::uint64_t u = begin; u < end; ++u) {
-      runner.run(g, static_cast<Vertex>(u));
-      if (runner.reached() != n) {
+      const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
+      if (agg.reached != n) {
         connected.store(false, std::memory_order_relaxed);
       } else {
-        result.ecc[u] = runner.max_dist();
+        result.ecc[u] = agg.max_dist;
       }
     }
   };
@@ -43,7 +50,59 @@ EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) {
   return result;
 }
 
+template <class G>
+std::uint32_t eccentricity_impl(const G& g, Vertex u) {
+  const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(g.num_vertices());
+  const BfsAggregates agg = bfs_workspace(g, u, lease.ws());
+  if (agg.reached != g.num_vertices()) return kUnreachable;
+  return agg.max_dist;
+}
+
+template <class G>
+std::uint64_t sum_of_distances_impl(const G& g, Vertex u, std::uint64_t cinf) {
+  const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(g.num_vertices());
+  const BfsAggregates agg = bfs_workspace(g, u, lease.ws());
+  const std::uint64_t missing = g.num_vertices() - agg.reached;
+  return agg.sum_dist + missing * cinf;
+}
+
+template <class G>
+std::optional<double> average_distance_impl(const G& g, ThreadPool* pool) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return std::nullopt;
+  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  std::atomic<bool> connected{true};
+  std::atomic<std::uint64_t> total{0};
+  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                      std::uint64_t end) {
+    const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
+    std::uint64_t local = 0;
+    for (std::uint64_t u = begin; u < end; ++u) {
+      const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
+      if (agg.reached != n) connected.store(false, std::memory_order_relaxed);
+      local += agg.sum_dist;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  if (!connected.load(std::memory_order_relaxed)) return std::nullopt;
+  const auto pairs = static_cast<double>(n) * (n - 1);
+  return static_cast<double>(total.load(std::memory_order_relaxed)) / pairs;
+}
+
+}  // namespace
+
+EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) { return ecc_impl(g, pool); }
+
+EccentricityResult eccentricities(const CsrUGraph& g, ThreadPool* pool) {
+  return ecc_impl(g, pool);
+}
+
 std::uint32_t diameter(const UGraph& g, ThreadPool* pool) {
+  return eccentricities(g, pool).diameter;
+}
+
+std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool) {
   return eccentricities(g, pool).diameter;
 }
 
@@ -67,18 +126,16 @@ std::uint32_t diameter_lower_bound(const UGraph& g, std::uint32_t samples, Rng& 
   return best;
 }
 
-std::uint32_t eccentricity(const UGraph& g, Vertex u) {
-  BfsRunner runner(g.num_vertices());
-  runner.run(g, u);
-  if (runner.reached() != g.num_vertices()) return kUnreachable;
-  return runner.max_dist();
-}
+std::uint32_t eccentricity(const UGraph& g, Vertex u) { return eccentricity_impl(g, u); }
+
+std::uint32_t eccentricity(const CsrUGraph& g, Vertex u) { return eccentricity_impl(g, u); }
 
 std::uint64_t sum_of_distances(const UGraph& g, Vertex u, std::uint64_t cinf) {
-  BfsRunner runner(g.num_vertices());
-  runner.run(g, u);
-  const std::uint64_t missing = g.num_vertices() - runner.reached();
-  return runner.sum_dist() + missing * cinf;
+  return sum_of_distances_impl(g, u, cinf);
+}
+
+std::uint64_t sum_of_distances(const CsrUGraph& g, Vertex u, std::uint64_t cinf) {
+  return sum_of_distances_impl(g, u, cinf);
 }
 
 std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool) {
@@ -98,26 +155,11 @@ std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool) 
 }
 
 std::optional<double> average_distance(const UGraph& g, ThreadPool* pool) {
-  const std::uint32_t n = g.num_vertices();
-  if (n < 2) return std::nullopt;
-  ThreadPool& exec = pool ? *pool : ThreadPool::shared();
-  std::atomic<bool> connected{true};
-  std::atomic<std::uint64_t> total{0};
-  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
-                                                                      std::uint64_t end) {
-    BfsRunner runner(n);
-    std::uint64_t local = 0;
-    for (std::uint64_t u = begin; u < end; ++u) {
-      runner.run(g, static_cast<Vertex>(u));
-      if (runner.reached() != n) connected.store(false, std::memory_order_relaxed);
-      local += runner.sum_dist();
-    }
-    total.fetch_add(local, std::memory_order_relaxed);
-  };
-  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
-  if (!connected.load(std::memory_order_relaxed)) return std::nullopt;
-  const auto pairs = static_cast<double>(n) * (n - 1);
-  return static_cast<double>(total.load(std::memory_order_relaxed)) / pairs;
+  return average_distance_impl(g, pool);
+}
+
+std::optional<double> average_distance(const CsrUGraph& g, ThreadPool* pool) {
+  return average_distance_impl(g, pool);
 }
 
 }  // namespace bbng

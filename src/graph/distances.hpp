@@ -2,9 +2,15 @@
 //
 // The eccentricity sweep (one BFS per vertex) is the dominant cost of the
 // bench harness at large n; it parallelises embarrassingly over sources and
-// runs on the shared ThreadPool. For very large graphs (the k=4 shift graph
-// has 65 536 vertices) a sampled variant gives a certified *lower* bound on
-// the diameter plus the exact eccentricity of the sampled vertices.
+// runs on the shared ThreadPool. Each worker leases a Workspace arena from
+// the shared pool (parallel/workspace.hpp) and sweeps with bfs_workspace(),
+// so a sweep performs zero steady-state heap allocations per source — at
+// n = 10⁶ the old per-chunk BfsRunner allocations were megabytes of
+// allocator traffic per query. Aggregate entry points are overloaded for
+// both graph cores (UGraph and CsrUGraph) and return identical values. For
+// very large graphs (the k=4 shift graph has 65 536 vertices) a sampled
+// variant gives a certified *lower* bound on the diameter plus the exact
+// eccentricity of the sampled vertices.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/ugraph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
@@ -28,9 +35,12 @@ struct EccentricityResult {
 /// Exact eccentricities via one BFS per vertex, parallel over sources.
 [[nodiscard]] EccentricityResult eccentricities(const UGraph& g,
                                                 ThreadPool* pool = nullptr);
+[[nodiscard]] EccentricityResult eccentricities(const CsrUGraph& g,
+                                                ThreadPool* pool = nullptr);
 
 /// Exact diameter (kUnreachable if disconnected).
 [[nodiscard]] std::uint32_t diameter(const UGraph& g, ThreadPool* pool = nullptr);
+[[nodiscard]] std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool = nullptr);
 
 /// Diameter lower bound from `samples` BFS sweeps (double-sweep heuristic:
 /// each sample BFS restarts from the farthest vertex found). Exact on trees.
@@ -39,9 +49,11 @@ struct EccentricityResult {
 
 /// Eccentricity of a single vertex (kUnreachable if g disconnected from u).
 [[nodiscard]] std::uint32_t eccentricity(const UGraph& g, Vertex u);
+[[nodiscard]] std::uint32_t eccentricity(const CsrUGraph& g, Vertex u);
 
 /// Sum over v of d(u,v), counting `cinf` for each unreachable vertex.
 [[nodiscard]] std::uint64_t sum_of_distances(const UGraph& g, Vertex u, std::uint64_t cinf);
+[[nodiscard]] std::uint64_t sum_of_distances(const CsrUGraph& g, Vertex u, std::uint64_t cinf);
 
 /// Full APSP matrix (row u = BFS from u); intended for small n only.
 [[nodiscard]] std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g,
@@ -49,6 +61,8 @@ struct EccentricityResult {
 
 /// Mean finite pairwise distance; nullopt if disconnected or n < 2.
 [[nodiscard]] std::optional<double> average_distance(const UGraph& g,
+                                                     ThreadPool* pool = nullptr);
+[[nodiscard]] std::optional<double> average_distance(const CsrUGraph& g,
                                                      ThreadPool* pool = nullptr);
 
 }  // namespace bbng

@@ -1,239 +1,11 @@
 #include "graph/dynamic_bfs.hpp"
 
-#include <algorithm>
-
 namespace bbng {
 
-DynamicBfs::DynamicBfs(UGraph g, Vertex source, std::uint32_t rebuild_threshold, bool track_max)
-    : n_(g.num_vertices()),
-      source_(source),
-      rebuild_threshold_(rebuild_threshold),
-      track_max_(track_max),
-      g_(std::move(g)),
-      dist_(n_, kUnreachable),
-      parent_(n_, kUnreachable),
-      level_count_(track_max_ ? static_cast<std::size_t>(n_) + 1 : 0, 0),
-      affected_mark_(n_, 0),
-      buckets_(static_cast<std::size_t>(n_) + 2) {
-  BBNG_REQUIRE(source_ < n_);
-  if (rebuild_threshold_ == 0) rebuild_threshold_ = std::max<std::uint32_t>(32, n_ / 4);
-  rebuild();
-}
-
-void DynamicBfs::apply_label(Vertex v, std::uint32_t new_dist) {
-  const std::uint32_t old = dist_[v];
-  if (old == new_dist) return;
-  if (old != kUnreachable) {
-    if (track_max_) --level_count_[old];
-    sum_dist_ -= old;
-    --reached_;
-  }
-  if (new_dist != kUnreachable) {
-    sum_dist_ += new_dist;
-    ++reached_;
-    if (track_max_) {
-      ++level_count_[new_dist];
-      if (new_dist > max_level_) max_level_ = new_dist;
-    }
-  }
-  dist_[v] = new_dist;
-}
-
-std::uint32_t DynamicBfs::max_dist() const {
-  BBNG_REQUIRE_MSG(track_max_, "constructed with track_max = false");
-  while (max_level_ > 0 && level_count_[max_level_] == 0) --max_level_;
-  return max_level_;
-}
-
-void DynamicBfs::begin_trial() {
-  BBNG_REQUIRE_MSG(!trial_active_, "trials do not nest");
-  trial_labels_.clear();
-  trial_edges_.clear();
-  trial_sum_ = sum_dist_;
-  trial_reached_ = reached_;
-  trial_max_level_ = max_level_;
-  trial_active_ = true;
-}
-
-void DynamicBfs::rollback_trial() {
-  BBNG_REQUIRE(trial_active_);
-  trial_active_ = false;
-  // Reverse replay: with duplicate journal entries the oldest value is
-  // restored last. Scalar aggregates come straight from the snapshot; level
-  // counts (MAX tracking only) are adjusted per entry.
-  for (auto it = trial_labels_.rbegin(); it != trial_labels_.rend(); ++it) {
-    if (track_max_) {
-      const std::uint32_t cur = dist_[it->v];
-      if (cur != kUnreachable) --level_count_[cur];
-      if (it->dist != kUnreachable) ++level_count_[it->dist];
-    }
-    dist_[it->v] = it->dist;
-  }
-  sum_dist_ = trial_sum_;
-  reached_ = trial_reached_;
-  max_level_ = trial_max_level_;
-  for (auto it = trial_edges_.rbegin(); it != trial_edges_.rend(); ++it) {
-    g_.remove_edge(it->first, it->second);
-  }
-  trial_labels_.clear();
-  trial_edges_.clear();
-}
-
-void DynamicBfs::rebuild() {
-  BBNG_ASSERT(!trial_active_);  // trials are insert-only; inserts never rebuild
-  std::fill(dist_.begin(), dist_.end(), kUnreachable);
-  std::fill(parent_.begin(), parent_.end(), kUnreachable);
-  std::fill(level_count_.begin(), level_count_.end(), 0U);
-  sum_dist_ = 0;
-  max_level_ = 0;
-
-  // Plain BFS, but recording parents (BfsRunner does not keep them).
-  wave_.clear();
-  dist_[source_] = 0;
-  if (track_max_) level_count_[0] = 1;
-  wave_.push_back(source_);
-  std::size_t head = 0;
-  while (head < wave_.size()) {
-    const Vertex u = wave_[head++];
-    const std::uint32_t du = dist_[u];
-    for (const Vertex v : g_.neighbors(u)) {
-      if (dist_[v] != kUnreachable) continue;
-      dist_[v] = du + 1;
-      parent_[v] = u;
-      if (track_max_) ++level_count_[du + 1];
-      sum_dist_ += du + 1;
-      if (du + 1 > max_level_) max_level_ = du + 1;
-      wave_.push_back(v);
-    }
-  }
-  reached_ = static_cast<std::uint32_t>(wave_.size());
-  wave_.clear();
-}
-
-void DynamicBfs::insert_edge(Vertex u, Vertex v) {
-  BBNG_REQUIRE(u < n_ && v < n_ && u != v);
-  g_.add_edge(u, v);
-  if (trial_active_) trial_edges_.emplace_back(u, v);
-  ++ops_;
-
-  // Orient so u is the (weakly) closer endpoint; bail if nothing improves.
-  if (dist_[v] != kUnreachable && (dist_[u] == kUnreachable || dist_[v] < dist_[u])) {
-    std::swap(u, v);
-  }
-  if (dist_[u] == kUnreachable) return;                       // both unreachable
-  if (dist_[v] != kUnreachable && dist_[v] <= dist_[u] + 1) return;
-
-  // Relaxation wave: labels only decrease, so each vertex enters at most
-  // once per strict improvement and the work is O(region that improves).
-  // Probes skip parent maintenance entirely (rollback discards the wave).
-  wave_.clear();
-  journal_label(v);
-  apply_label(v, dist_[u] + 1);
-  if (!trial_active_) parent_[v] = u;
-  wave_.push_back(v);
-  ++touched_;
-  std::size_t head = 0;
-  while (head < wave_.size()) {
-    const Vertex w = wave_[head++];
-    const std::uint32_t dw = dist_[w];
-    for (const Vertex x : g_.neighbors(w)) {
-      if (dist_[x] != kUnreachable && dist_[x] <= dw + 1) continue;
-      journal_label(x);
-      apply_label(x, dw + 1);
-      if (!trial_active_) parent_[x] = w;
-      wave_.push_back(x);
-      ++touched_;
-    }
-  }
-  wave_.clear();
-}
-
-void DynamicBfs::delete_edge(Vertex u, Vertex v) {
-  BBNG_REQUIRE(u < n_ && v < n_);
-  BBNG_REQUIRE_MSG(!trial_active_, "trials are insert-only probes");
-  g_.remove_edge(u, v);
-  ++ops_;
-
-  // Only removing the tree edge above a vertex can invalidate labels.
-  if (parent_[u] == v) std::swap(u, v);
-  if (parent_[v] != u) return;
-
-  // Collect v's subtree (children = neighbours whose parent pointer is w);
-  // everything else keeps an intact shortest-path tree, so its labels stay
-  // exact (deletion can only increase distances).
-  ++epoch_;
-  affected_.clear();
-  affected_.push_back(v);
-  affected_mark_[v] = epoch_;
-  for (std::size_t i = 0; i < affected_.size(); ++i) {
-    const Vertex w = affected_[i];
-    for (const Vertex x : g_.neighbors(w)) {
-      if (parent_[x] == w && affected_mark_[x] != epoch_) {
-        affected_mark_[x] = epoch_;
-        affected_.push_back(x);
-      }
-    }
-    if (affected_.size() > rebuild_threshold_) {
-      for (const Vertex a : affected_) affected_mark_[a] = 0;
-      touched_ += affected_.size();
-      ++full_rebuilds_;
-      rebuild();
-      return;
-    }
-  }
-  touched_ += affected_.size();
-
-  // Repair: settle affected vertices in increasing candidate distance with a
-  // bucket queue (unit-weight Dijkstra seeded from the intact frontier).
-  std::uint32_t min_level = kUnreachable;
-  used_levels_.clear();
-  const auto push = [&](Vertex w, std::uint32_t cand) {
-    if (cand > n_) return;  // no simple path is that long
-    if (buckets_[cand].empty()) used_levels_.push_back(cand);
-    buckets_[cand].push_back(w);
-    if (cand < min_level) min_level = cand;
-  };
-  for (const Vertex w : affected_) {
-    std::uint32_t cand = kUnreachable;
-    for (const Vertex x : g_.neighbors(w)) {
-      if (affected_mark_[x] == epoch_ || dist_[x] == kUnreachable) continue;
-      cand = std::min(cand, dist_[x] + 1);
-    }
-    if (cand != kUnreachable) push(w, cand);
-  }
-
-  std::size_t unsettled = affected_.size();
-  for (std::uint32_t lev = min_level; lev <= n_ && unsettled > 0; ++lev) {
-    auto& bucket = buckets_[lev];
-    for (std::size_t i = 0; i < bucket.size(); ++i) {  // may grow while draining
-      const Vertex w = bucket[i];
-      if (affected_mark_[w] != epoch_) continue;  // already settled
-      affected_mark_[w] = 0;
-      --unsettled;
-      BBNG_ASSERT(lev >= dist_[w]);
-      apply_label(w, lev);
-      parent_[w] = kUnreachable;
-      for (const Vertex x : g_.neighbors(w)) {
-        if (affected_mark_[x] == epoch_) {
-          push(x, lev + 1);  // settled-affected frontier keeps relaxing
-        } else if (parent_[w] == kUnreachable && dist_[x] + 1 == lev) {
-          parent_[w] = x;  // dist_[x] finite: kUnreachable + 1 overflows to 0
-        }
-      }
-      BBNG_ASSERT(parent_[w] != kUnreachable);
-    }
-  }
-  for (const std::uint32_t lev : used_levels_) buckets_[lev].clear();
-
-  // Anything never settled has lost its last path to the source.
-  if (unsettled > 0) {
-    for (const Vertex w : affected_) {
-      if (affected_mark_[w] != epoch_) continue;
-      affected_mark_[w] = 0;
-      apply_label(w, kUnreachable);
-      parent_[w] = kUnreachable;
-    }
-  }
-}
+// Anchor both graph-core instantiations in one TU so every consumer links
+// against identical code (the differential suites rely on the vector and CSR
+// oracles being the same algorithm, label update for label update).
+template class DynamicBfsT<UGraph>;
+template class DynamicBfsT<CsrUGraph>;
 
 }  // namespace bbng

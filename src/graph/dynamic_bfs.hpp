@@ -1,6 +1,6 @@
 // Dynamic single-source BFS: exact distances under edge insert/delete.
 //
-// DynamicBfs owns a mutable copy of an undirected graph and keeps the exact
+// DynamicBfsT owns a mutable copy of an undirected graph and keeps the exact
 // BFS distance (and a shortest-path tree) from a fixed source current across
 // single-edge insertions and deletions, in the spirit of the dynamic-SSSP
 // literature (Even–Shiloach trees; see Forster–Nanongkai 2018 and
@@ -22,18 +22,33 @@
 // per-level counts) are maintained incrementally so callers can read
 // SUM/MAX-style objectives in O(1) without rescanning the distance array —
 // that is what makes DeltaEvaluator (game/strategy_eval.hpp) cheap.
+//
+// The class is a template over the graph core: DynamicBfs (= UGraph) is the
+// vector-adjacency reference, CsrDynamicBfs (= CsrUGraph) the flat-arena
+// production core. Both keep sorted rows, so the oracles traverse neighbours
+// in the identical order and stay bit-identical in every observable —
+// distances, parents, aggregates, journals, and instrumentation counters
+// (tests/test_fuzz_dynamic_bfs.cpp runs them side by side). Pass a Workspace
+// (parallel/workspace.hpp) to share the per-operation scratch (wave /
+// subtree stack / epoch marks / bucket queue) with other oracles on the same
+// worker thread: each operation leaves the scratch clean, so sharing is safe
+// and steady-state queries allocate nothing.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/ugraph.hpp"
+#include "parallel/workspace.hpp"
 
 namespace bbng {
 
-class DynamicBfs {
+template <class GraphT>
+class DynamicBfsT {
  public:
   /// Takes ownership of `g`. `rebuild_threshold` = touched-vertex count above
   /// which a deletion repair falls back to one full BFS; 0 picks a default of
@@ -41,19 +56,169 @@ class DynamicBfs {
   /// (both useful in differential tests). `track_max` maintains per-level
   /// counts so max_dist() is available; pass false to shave two array writes
   /// off every label change when only reached()/sum_dist() are consumed.
-  explicit DynamicBfs(UGraph g, Vertex source, std::uint32_t rebuild_threshold = 0,
-                      bool track_max = true);
+  /// `scratch` (optional, not owned, must outlive the oracle) shares one
+  /// worker's Workspace arena instead of allocating private scratch.
+  explicit DynamicBfsT(GraphT g, Vertex source, std::uint32_t rebuild_threshold = 0,
+                       bool track_max = true, Workspace* scratch = nullptr)
+      : n_(g.num_vertices()),
+        source_(source),
+        rebuild_threshold_(rebuild_threshold),
+        track_max_(track_max),
+        scratch_(scratch),
+        g_(std::move(g)),
+        dist_(n_, kUnreachable),
+        parent_(n_, kUnreachable),
+        level_count_(track_max_ ? static_cast<std::size_t>(n_) + 1 : 0, 0) {
+    BBNG_REQUIRE(source_ < n_);
+    if (rebuild_threshold_ == 0) rebuild_threshold_ = std::max<std::uint32_t>(32, n_ / 4);
+    if (scratch_ != nullptr) {
+      scratch_->bind(n_);
+    } else {
+      own_mark_.assign(n_, 0);
+      own_buckets_.resize(static_cast<std::size_t>(n_) + 2);
+    }
+    rebuild();
+  }
 
   [[nodiscard]] std::uint32_t num_vertices() const noexcept { return n_; }
   [[nodiscard]] Vertex source() const noexcept { return source_; }
-  [[nodiscard]] const UGraph& graph() const noexcept { return g_; }
+  [[nodiscard]] const GraphT& graph() const noexcept { return g_; }
   [[nodiscard]] std::uint32_t rebuild_threshold() const noexcept { return rebuild_threshold_; }
 
   /// Insert the (absent) edge {u,v} and repair distances.
-  void insert_edge(Vertex u, Vertex v);
+  void insert_edge(Vertex u, Vertex v) {
+    BBNG_REQUIRE(u < n_ && v < n_ && u != v);
+    g_.add_edge(u, v);
+    if (trial_active_) trial_edges_.emplace_back(u, v);
+    ++ops_;
+
+    // Orient so u is the (weakly) closer endpoint; bail if nothing improves.
+    if (dist_[v] != kUnreachable && (dist_[u] == kUnreachable || dist_[v] < dist_[u])) {
+      std::swap(u, v);
+    }
+    if (dist_[u] == kUnreachable) return;                       // both unreachable
+    if (dist_[v] != kUnreachable && dist_[v] <= dist_[u] + 1) return;
+
+    // Relaxation wave: labels only decrease, so each vertex enters at most
+    // once per strict improvement and the work is O(region that improves).
+    // Probes skip parent maintenance entirely (rollback discards the wave).
+    std::vector<Vertex>& wave = this->wave();
+    wave.clear();
+    journal_label(v);
+    apply_label(v, dist_[u] + 1);
+    if (!trial_active_) parent_[v] = u;
+    wave.push_back(v);
+    ++touched_;
+    std::size_t head = 0;
+    while (head < wave.size()) {
+      const Vertex w = wave[head++];
+      const std::uint32_t dw = dist_[w];
+      for (const Vertex x : g_.neighbors(w)) {
+        if (dist_[x] != kUnreachable && dist_[x] <= dw + 1) continue;
+        journal_label(x);
+        apply_label(x, dw + 1);
+        if (!trial_active_) parent_[x] = w;
+        wave.push_back(x);
+        ++touched_;
+      }
+    }
+    wave.clear();
+  }
 
   /// Delete the (present) edge {u,v} and repair distances.
-  void delete_edge(Vertex u, Vertex v);
+  void delete_edge(Vertex u, Vertex v) {
+    BBNG_REQUIRE(u < n_ && v < n_);
+    BBNG_REQUIRE_MSG(!trial_active_, "trials are insert-only probes");
+    g_.remove_edge(u, v);
+    ++ops_;
+
+    // Only removing the tree edge above a vertex can invalidate labels.
+    if (parent_[u] == v) std::swap(u, v);
+    if (parent_[v] != u) return;
+
+    // Collect v's subtree (children = neighbours whose parent pointer is w);
+    // everything else keeps an intact shortest-path tree, so its labels stay
+    // exact (deletion can only increase distances).
+    const std::uint32_t epoch = bump_epoch();
+    std::vector<std::uint32_t>& mark = this->mark();
+    std::vector<Vertex>& affected = this->affected();
+    affected.clear();
+    affected.push_back(v);
+    mark[v] = epoch;
+    for (std::size_t i = 0; i < affected.size(); ++i) {
+      const Vertex w = affected[i];
+      for (const Vertex x : g_.neighbors(w)) {
+        if (parent_[x] == w && mark[x] != epoch) {
+          mark[x] = epoch;
+          affected.push_back(x);
+        }
+      }
+      if (affected.size() > rebuild_threshold_) {
+        for (const Vertex a : affected) mark[a] = 0;
+        touched_ += affected.size();
+        affected.clear();
+        ++full_rebuilds_;
+        rebuild();
+        return;
+      }
+    }
+    touched_ += affected.size();
+
+    // Repair: settle affected vertices in increasing candidate distance with
+    // a bucket queue (unit-weight Dijkstra seeded from the intact frontier).
+    std::vector<std::vector<Vertex>>& buckets = this->buckets();
+    std::vector<std::uint32_t>& used_levels = this->used_levels();
+    std::uint32_t min_level = kUnreachable;
+    used_levels.clear();
+    const auto push = [&](Vertex w, std::uint32_t cand) {
+      if (cand > n_) return;  // no simple path is that long
+      if (buckets[cand].empty()) used_levels.push_back(cand);
+      buckets[cand].push_back(w);
+      if (cand < min_level) min_level = cand;
+    };
+    for (const Vertex w : affected) {
+      std::uint32_t cand = kUnreachable;
+      for (const Vertex x : g_.neighbors(w)) {
+        if (mark[x] == epoch || dist_[x] == kUnreachable) continue;
+        cand = std::min(cand, dist_[x] + 1);
+      }
+      if (cand != kUnreachable) push(w, cand);
+    }
+
+    std::size_t unsettled = affected.size();
+    for (std::uint32_t lev = min_level; lev <= n_ && unsettled > 0; ++lev) {
+      auto& bucket = buckets[lev];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {  // may grow while draining
+        const Vertex w = bucket[i];
+        if (mark[w] != epoch) continue;  // already settled
+        mark[w] = 0;
+        --unsettled;
+        BBNG_ASSERT(lev >= dist_[w]);
+        apply_label(w, lev);
+        parent_[w] = kUnreachable;
+        for (const Vertex x : g_.neighbors(w)) {
+          if (mark[x] == epoch) {
+            push(x, lev + 1);  // settled-affected frontier keeps relaxing
+          } else if (parent_[w] == kUnreachable && dist_[x] + 1 == lev) {
+            parent_[w] = x;  // dist_[x] finite: kUnreachable + 1 overflows to 0
+          }
+        }
+        BBNG_ASSERT(parent_[w] != kUnreachable);
+      }
+    }
+    for (const std::uint32_t lev : used_levels) buckets[lev].clear();
+
+    // Anything never settled has lost its last path to the source.
+    if (unsettled > 0) {
+      for (const Vertex w : affected) {
+        if (mark[w] != epoch) continue;
+        mark[w] = 0;
+        apply_label(w, kUnreachable);
+        parent_[w] = kUnreachable;
+      }
+    }
+    affected.clear();
+  }
 
   /// Begin a journaled trial: subsequent insert_edge calls record undo
   /// information (old labels, inserted edges) so rollback_trial() can revert
@@ -61,11 +226,41 @@ class DynamicBfs {
   /// without paying a deletion repair to undo it. Trials are insert-only
   /// (deletes would need parent maintenance, which probes skip) and do not
   /// nest; parent() is unspecified while a trial is open.
-  void begin_trial();
+  void begin_trial() {
+    BBNG_REQUIRE_MSG(!trial_active_, "trials do not nest");
+    trial_labels_.clear();
+    trial_edges_.clear();
+    trial_sum_ = sum_dist_;
+    trial_reached_ = reached_;
+    trial_max_level_ = max_level_;
+    trial_active_ = true;
+  }
 
   /// Revert every operation since begin_trial (labels, parents, edges, and
   /// all aggregates) and leave trial mode.
-  void rollback_trial();
+  void rollback_trial() {
+    BBNG_REQUIRE(trial_active_);
+    trial_active_ = false;
+    // Reverse replay: with duplicate journal entries the oldest value is
+    // restored last. Scalar aggregates come straight from the snapshot; level
+    // counts (MAX tracking only) are adjusted per entry.
+    for (auto it = trial_labels_.rbegin(); it != trial_labels_.rend(); ++it) {
+      if (track_max_) {
+        const std::uint32_t cur = dist_[it->v];
+        if (cur != kUnreachable) --level_count_[cur];
+        if (it->dist != kUnreachable) ++level_count_[it->dist];
+      }
+      dist_[it->v] = it->dist;
+    }
+    sum_dist_ = trial_sum_;
+    reached_ = trial_reached_;
+    max_level_ = trial_max_level_;
+    for (auto it = trial_edges_.rbegin(); it != trial_edges_.rend(); ++it) {
+      g_.remove_edge(it->first, it->second);
+    }
+    trial_labels_.clear();
+    trial_edges_.clear();
+  }
 
   [[nodiscard]] bool in_trial() const noexcept { return trial_active_; }
 
@@ -92,7 +287,11 @@ class DynamicBfs {
 
   /// Max finite distance (0 when only the source is reached). Requires
   /// construction with track_max = true.
-  [[nodiscard]] std::uint32_t max_dist() const;
+  [[nodiscard]] std::uint32_t max_dist() const {
+    BBNG_REQUIRE_MSG(track_max_, "constructed with track_max = false");
+    while (max_level_ > 0 && level_count_[max_level_] == 0) --max_level_;
+    return max_level_;
+  }
 
   // ---- instrumentation (per-instance, monotone) ----
   /// Edge operations applied so far.
@@ -103,19 +302,90 @@ class DynamicBfs {
   [[nodiscard]] std::uint64_t touched() const noexcept { return touched_; }
 
  private:
-  void rebuild();
-  void apply_label(Vertex v, std::uint32_t new_dist);
+  void rebuild() {
+    BBNG_ASSERT(!trial_active_);  // trials are insert-only; inserts never rebuild
+    std::fill(dist_.begin(), dist_.end(), kUnreachable);
+    std::fill(parent_.begin(), parent_.end(), kUnreachable);
+    std::fill(level_count_.begin(), level_count_.end(), 0U);
+    sum_dist_ = 0;
+    max_level_ = 0;
+
+    // Plain BFS, but recording parents (BfsRunner does not keep them).
+    std::vector<Vertex>& wave = this->wave();
+    wave.clear();
+    dist_[source_] = 0;
+    if (track_max_) level_count_[0] = 1;
+    wave.push_back(source_);
+    std::size_t head = 0;
+    while (head < wave.size()) {
+      const Vertex u = wave[head++];
+      const std::uint32_t du = dist_[u];
+      for (const Vertex v : g_.neighbors(u)) {
+        if (dist_[v] != kUnreachable) continue;
+        dist_[v] = du + 1;
+        parent_[v] = u;
+        if (track_max_) ++level_count_[du + 1];
+        sum_dist_ += du + 1;
+        if (du + 1 > max_level_) max_level_ = du + 1;
+        wave.push_back(v);
+      }
+    }
+    reached_ = static_cast<std::uint32_t>(wave.size());
+    wave.clear();
+  }
+
+  void apply_label(Vertex v, std::uint32_t new_dist) {
+    const std::uint32_t old = dist_[v];
+    if (old == new_dist) return;
+    if (old != kUnreachable) {
+      if (track_max_) --level_count_[old];
+      sum_dist_ -= old;
+      --reached_;
+    }
+    if (new_dist != kUnreachable) {
+      sum_dist_ += new_dist;
+      ++reached_;
+      if (track_max_) {
+        ++level_count_[new_dist];
+        if (new_dist > max_level_) max_level_ = new_dist;
+      }
+    }
+    dist_[v] = new_dist;
+  }
 
   /// Journal v's label before a change (no-op outside a trial).
   void journal_label(Vertex v) {
     if (trial_active_) trial_labels_.push_back({v, dist_[v]});
   }
 
+  // Scratch accessors: one worker's shared Workspace when given, private
+  // fallbacks otherwise. Every operation leaves the shared arrays clean
+  // (waves/stacks cleared, marks ≤ a consumed epoch), so oracles on the same
+  // thread interleave safely.
+  std::vector<Vertex>& wave() { return scratch_ != nullptr ? scratch_->queue : own_wave_; }
+  std::vector<Vertex>& affected() { return scratch_ != nullptr ? scratch_->stack : own_affected_; }
+  std::vector<std::uint32_t>& mark() { return scratch_ != nullptr ? scratch_->mark : own_mark_; }
+  std::vector<std::vector<Vertex>>& buckets() {
+    return scratch_ != nullptr ? scratch_->buckets : own_buckets_;
+  }
+  std::vector<std::uint32_t>& used_levels() {
+    return scratch_ != nullptr ? scratch_->used_levels : own_used_levels_;
+  }
+  std::uint32_t bump_epoch() {
+    if (scratch_ != nullptr) return scratch_->next_epoch();
+    if (++own_epoch_ == 0) {
+      std::fill(own_mark_.begin(), own_mark_.end(), 0U);
+      own_epoch_ = 1;
+    }
+    return own_epoch_;
+  }
+
   std::uint32_t n_;
   Vertex source_;
   std::uint32_t rebuild_threshold_;
   bool track_max_;
-  UGraph g_;
+  Workspace* scratch_;  ///< not owned; nullptr = private scratch below
+  GraphT g_;
   std::vector<std::uint32_t> dist_;
   std::vector<Vertex> parent_;
 
@@ -125,13 +395,13 @@ class DynamicBfs {
   std::vector<std::uint32_t> level_count_;   ///< #vertices per finite distance
   mutable std::uint32_t max_level_ = 0;      ///< cached upper bound on max_dist
 
-  // Scratch reused across operations.
-  std::vector<Vertex> wave_;                 ///< insert relaxation / subtree stack
-  std::vector<Vertex> affected_;             ///< deletion: invalidated subtree
-  std::vector<std::uint32_t> affected_mark_; ///< epoch stamps
-  std::uint32_t epoch_ = 0;
-  std::vector<std::vector<Vertex>> buckets_; ///< deletion repair bucket queue
-  std::vector<std::uint32_t> used_levels_;   ///< non-empty buckets to clear
+  // Private scratch (used only when no Workspace was provided).
+  std::vector<Vertex> own_wave_;                 ///< insert relaxation / rebuild queue
+  std::vector<Vertex> own_affected_;             ///< deletion: invalidated subtree
+  std::vector<std::uint32_t> own_mark_;          ///< epoch stamps
+  std::uint32_t own_epoch_ = 0;
+  std::vector<std::vector<Vertex>> own_buckets_; ///< deletion repair bucket queue
+  std::vector<std::uint32_t> own_used_levels_;   ///< non-empty buckets to clear
 
   // Trial journal (insert-only probes; parents are left stale and scalar
   // aggregates restore from the begin_trial snapshot).
@@ -151,5 +421,13 @@ class DynamicBfs {
   std::uint64_t full_rebuilds_ = 0;
   std::uint64_t touched_ = 0;
 };
+
+/// The vector-adjacency reference oracle (pre-CSR name, kept source
+/// compatible) and its flat-arena production sibling.
+using DynamicBfs = DynamicBfsT<UGraph>;
+using CsrDynamicBfs = DynamicBfsT<CsrUGraph>;
+
+extern template class DynamicBfsT<UGraph>;
+extern template class DynamicBfsT<CsrUGraph>;
 
 }  // namespace bbng

@@ -1,0 +1,46 @@
+#include "parallel/workspace.hpp"
+
+namespace bbng {
+
+WorkspacePool::Lease WorkspacePool::acquire(std::uint32_t n) {
+  Workspace* ws = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      ws = free_.back();
+      free_.pop_back();
+    } else {
+      all_.push_back(std::make_unique<Workspace>());
+      ws = all_.back().get();
+    }
+    BBNG_ASSERT(!ws->in_use_);  // exclusivity: one holder per workspace
+    ws->in_use_ = true;
+    ++leases_;
+  }
+  ws->bind(n);
+  return Lease(this, ws);
+}
+
+void WorkspacePool::release(Workspace* ws) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  BBNG_ASSERT(ws->in_use_);
+  ws->in_use_ = false;
+  free_.push_back(ws);
+}
+
+std::uint64_t WorkspacePool::created() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return all_.size();
+}
+
+std::uint64_t WorkspacePool::leases() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return leases_;
+}
+
+WorkspacePool& WorkspacePool::shared() {
+  static WorkspacePool pool;
+  return pool;
+}
+
+}  // namespace bbng

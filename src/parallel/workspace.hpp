@@ -1,0 +1,165 @@
+// Per-thread arena workspaces for the BFS / dynamic-BFS hot loops.
+//
+// Every sweep in this library (eccentricities, delta scans, equilibrium
+// checks) used to allocate its own distance array, queue, and bucket queue
+// per worker chunk — harmless at n = 10³, megabytes of allocator traffic per
+// query at n = 10⁶. A Workspace is the preallocated scratch arena of one
+// worker (the ResearchWorkspace pattern of SNIPPETS.md snippet 3): distance
+// / parent arrays, a queue and a stack, an epoch-stamped mark array (no
+// O(n) clears between queries), the deletion-repair bucket queue, and
+// frontier bitsets. bind(n) grows monotonically and is a no-op once the
+// arena covers n, so steady-state queries perform ZERO heap allocations —
+// grows() and footprint_bytes() instrument exactly that claim for the
+// workspace-reuse tests and BENCH_csr's flat-memory row.
+//
+// A WorkspacePool owns workspaces and leases them to workers RAII-style;
+// a workspace is never handed to two concurrent holders (asserted), which
+// the TSan suite exercises.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bbng {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Ensure every array covers `n` vertices. Monotone: never shrinks, no-op
+  /// (and allocation-free) when the arena already covers n.
+  void bind(std::uint32_t n) {
+    if (n <= bound_n_) return;
+    ++grows_;
+    dist.resize(n);
+    parent.resize(n);
+    mark.resize(n, 0);  // fresh entries start unmarked; epoch keeps counting
+    level_count.resize(static_cast<std::size_t>(n) + 1);
+    buckets.resize(static_cast<std::size_t>(n) + 2);
+    queue.reserve(n);
+    stack.reserve(n);
+    used_levels.reserve(static_cast<std::size_t>(n) + 2);
+    frontier.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    next_frontier.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    bound_n_ = n;
+  }
+
+  /// Advance the shared mark epoch; all existing marks become stale. Handles
+  /// wrap-around (astronomically rare) by clearing the mark array once.
+  std::uint32_t next_epoch() {
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0U);
+      epoch = 1;
+    }
+    return epoch;
+  }
+
+  [[nodiscard]] std::uint32_t bound_n() const noexcept { return bound_n_; }
+  /// Times bind() actually grew the arena (the zero-steady-state-allocation
+  /// tests pin this flat across repeated queries).
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+
+  /// Total reserved bytes across all arrays (capacities, not sizes) — the
+  /// flat-memory metric: query-count-independent once warmed up.
+  [[nodiscard]] std::uint64_t footprint_bytes() const noexcept {
+    std::uint64_t bytes = 0;
+    bytes += dist.capacity() * sizeof(std::uint32_t);
+    bytes += parent.capacity() * sizeof(std::uint32_t);
+    bytes += mark.capacity() * sizeof(std::uint32_t);
+    bytes += level_count.capacity() * sizeof(std::uint32_t);
+    bytes += queue.capacity() * sizeof(std::uint32_t);
+    bytes += stack.capacity() * sizeof(std::uint32_t);
+    bytes += used_levels.capacity() * sizeof(std::uint32_t);
+    bytes += frontier.capacity() * sizeof(std::uint64_t);
+    bytes += next_frontier.capacity() * sizeof(std::uint64_t);
+    bytes += buckets.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const auto& bucket : buckets) bytes += bucket.capacity() * sizeof(std::uint32_t);
+    return bytes;
+  }
+
+  // Scratch arrays. Consumers own the protocol: epoch-marked arrays need no
+  // clearing; push_back-style arrays are cleared by each user before use.
+  std::vector<std::uint32_t> dist;
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> queue;        ///< BFS queue / relaxation wave
+  std::vector<std::uint32_t> stack;        ///< subtree-collection stack
+  std::vector<std::uint32_t> mark;         ///< epoch-stamped visited/affected
+  std::uint32_t epoch = 0;                 ///< current stamp for `mark`
+  std::vector<std::uint32_t> level_count;  ///< per-level counts (MAX tracking)
+  std::vector<std::vector<std::uint32_t>> buckets;  ///< deletion-repair queue
+  std::vector<std::uint32_t> used_levels;           ///< non-empty buckets to clear
+  std::vector<std::uint64_t> frontier;              ///< level-synchronous bitset
+  std::vector<std::uint64_t> next_frontier;
+
+ private:
+  friend class WorkspacePool;
+
+  std::uint32_t bound_n_ = 0;
+  std::uint64_t grows_ = 0;
+  bool in_use_ = false;  // guarded by the owning pool's mutex
+};
+
+/// Thread-safe pool of workspaces with RAII leases. Workers acquire(n) at
+/// chunk entry; the lease binds the arena and returns it on destruction.
+/// Acquiring when all workspaces are leased creates a new one (the pool
+/// grows to the peak concurrency and then stops allocating — created() is
+/// pinned by the reuse tests).
+class WorkspacePool {
+ public:
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : pool_(other.pool_), ws_(other.ws_) {
+      other.pool_ = nullptr;
+      other.ws_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(ws_);
+    }
+
+    [[nodiscard]] Workspace& ws() const noexcept { return *ws_; }
+    Workspace* operator->() const noexcept { return ws_; }
+    Workspace& operator*() const noexcept { return *ws_; }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, Workspace* ws) : pool_(pool), ws_(ws) {}
+
+    WorkspacePool* pool_;
+    Workspace* ws_;
+  };
+
+  /// Lease a workspace bound to at least `n` vertices.
+  [[nodiscard]] Lease acquire(std::uint32_t n);
+
+  /// Workspaces ever created (== peak concurrent leases).
+  [[nodiscard]] std::uint64_t created() const;
+  /// Leases handed out so far.
+  [[nodiscard]] std::uint64_t leases() const;
+
+  /// Process-wide shared pool (sized by demand).
+  static WorkspacePool& shared();
+
+ private:
+  void release(Workspace* ws);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Workspace>> all_;  // stable addresses
+  std::vector<Workspace*> free_;
+  std::uint64_t leases_ = 0;
+};
+
+}  // namespace bbng

@@ -26,14 +26,25 @@ constexpr std::uint32_t kDominanceLimit = 256;
 /// multi-source BFS (differential testing). Identical costs either way.
 class NodeEval {
  public:
-  NodeEval(const Digraph& g, Vertex player, CostVersion version, bool incremental)
-      : incremental_(incremental) {
+  NodeEval(const Digraph& g, Vertex player, CostVersion version, bool incremental,
+           GraphCore core)
+      : incremental_(incremental), csr_(core == GraphCore::kCsr) {
     if (incremental_) {
-      delta_.emplace(g, player, version);
-      current_cost_ = delta_->current_cost();
-      current_strategy_ = delta_->current_strategy();
+      if (csr_) {
+        csr_delta_.emplace(g, player, version);
+      } else {
+        delta_.emplace(g, player, version);
+      }
+      current_cost_ = csr_ ? csr_delta_->current_cost() : delta_->current_cost();
+      current_strategy_ = csr_ ? csr_delta_->current_strategy() : delta_->current_strategy();
       // The search grows P from the empty set; strip the incumbent heads.
-      for (const Vertex h : current_strategy_) delta_->remove_head(h);
+      for (const Vertex h : current_strategy_) {
+        if (csr_) {
+          csr_delta_->remove_head(h);
+        } else {
+          delta_->remove_head(h);
+        }
+      }
     } else {
       naive_.emplace(g, player, version);
       scratch_.emplace(g.num_vertices());
@@ -50,13 +61,13 @@ class NodeEval {
 
   /// Cost of the present partial head set P.
   [[nodiscard]] std::uint64_t cost() {
-    if (incremental_) return delta_->cost();
+    if (incremental_) return csr_ ? csr_delta_->cost() : delta_->cost();
     return naive_->evaluate(heads_, *scratch_);
   }
 
   /// Cost of P ∪ {t} without committing (delta path: one journaled trial).
   [[nodiscard]] std::uint64_t probe(Vertex t) {
-    if (incremental_) return delta_->cost_with_head(t);
+    if (incremental_) return csr_ ? csr_delta_->cost_with_head(t) : delta_->cost_with_head(t);
     heads_.push_back(t);
     const std::uint64_t c = naive_->evaluate(heads_, *scratch_);
     heads_.pop_back();
@@ -65,21 +76,36 @@ class NodeEval {
 
   void push(Vertex t) {
     heads_.push_back(t);
-    if (incremental_) delta_->add_head(t);
+    if (incremental_) {
+      if (csr_) {
+        csr_delta_->add_head(t);
+      } else {
+        delta_->add_head(t);
+      }
+    }
   }
 
   void pop() {
     BBNG_ASSERT(!heads_.empty());
-    if (incremental_) delta_->remove_head(heads_.back());
+    if (incremental_) {
+      if (csr_) {
+        csr_delta_->remove_head(heads_.back());
+      } else {
+        delta_->remove_head(heads_.back());
+      }
+    }
     heads_.pop_back();
   }
 
   [[nodiscard]] std::uint64_t bfs_avoided() const noexcept {
-    return incremental_ ? delta_->bfs_avoided() : 0;
+    if (!incremental_) return 0;
+    return csr_ ? csr_delta_->bfs_avoided() : delta_->bfs_avoided();
   }
 
  private:
   bool incremental_;
+  bool csr_;  ///< which optional below is engaged on the incremental path
+  std::optional<CsrDeltaEvaluator> csr_delta_;
   std::optional<DeltaEvaluator> delta_;
   std::optional<StrategyEvaluator> naive_;
   std::optional<StrategyEvaluator::Scratch> scratch_;
@@ -103,7 +129,7 @@ class Search {
         b_(g.out_degree(player)),
         inf_(cinf(n_)),
         budget_(budget),
-        eval_(g, player, version, budget.incremental) {
+        eval_(g, player, version, budget.incremental, budget.core) {
     if (n_ <= kMatrixLimit) build_matrix(g);
   }
 
@@ -397,7 +423,8 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
   // strong incumbent is what makes the bounds bite.
   search.offer(search.eval().current_strategy(), result.current_cost);
   {
-    const GreedySwapDescent descent = greedy_swap_descent(g, player, version, budget.incremental);
+    const GreedySwapDescent descent =
+        greedy_swap_descent(g, player, version, budget.incremental, budget.core);
     search.offer(descent.coarse.strategy, descent.coarse.cost);
     search.offer(descent.refined.strategy, descent.refined.cost);
     result.evaluated += descent.coarse.evaluated + descent.refined.evaluated;

@@ -23,7 +23,7 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
   SolverResult result;
   result.solver = std::string(name());
 
-  const BestResponseSolver ladder(version, /*exact_limit=*/1, budget.incremental);
+  const BestResponseSolver ladder(version, /*exact_limit=*/1, budget.incremental, budget.core);
 
   // Staying put is the incumbent every racer must beat.
   const BestResponse baseline = ladder.swap_improve(g, player);
@@ -48,7 +48,7 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
 
   // Racer 2: greedy construction from scratch, refined by swap descent.
   if (b >= 1 && !expired()) {
-    const GreedySwapDescent descent = greedy_swap_descent(g, player, version, budget.incremental);
+    const GreedySwapDescent descent = greedy_swap_descent(g, player, version, budget.incremental, budget.core);
     result.evaluated += descent.coarse.evaluated + descent.refined.evaluated;
     result.bfs_avoided += descent.coarse.bfs_avoided + descent.refined.bfs_avoided;
     offer(descent.coarse);

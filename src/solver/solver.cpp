@@ -11,10 +11,10 @@ std::uint64_t trivial_cost_lower_bound(std::uint32_t n, CostVersion version) {
 }
 
 GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player, CostVersion version,
-                                      bool incremental) {
+                                      bool incremental, GraphCore core) {
   // exact_limit 1 keeps the ladder's exact path out of reach — this helper
   // is the heuristic descent only.
-  const BestResponseSolver ladder(version, /*exact_limit=*/1, incremental);
+  const BestResponseSolver ladder(version, /*exact_limit=*/1, incremental, core);
   GreedySwapDescent descent;
   descent.coarse = ladder.greedy(g, player);
   descent.refined = ladder.swap_improve(g, player, descent.coarse.strategy);

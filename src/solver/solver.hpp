@@ -24,6 +24,7 @@
 
 #include "game/best_response.hpp"
 #include "game/game.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/digraph.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -39,11 +40,14 @@ namespace bbng {
 /// ignores it (spec validation rejects a deadline aimed at it).
 /// `incremental` mirrors BestResponseSolver's flag: score candidates through
 /// the dynamic-BFS delta oracle, or force the naive full-BFS path
-/// (differential testing; both paths return identical costs).
+/// (differential testing; both paths return identical costs). `core` picks
+/// the delta oracle's graph core (graph/csr_graph.hpp) — a performance knob
+/// only; the cores are bit-identical in every observable.
 struct SolverBudget {
   double deadline_seconds = 0;   ///< wall-clock cap; 0 = none
   std::uint64_t node_limit = 0;  ///< backend-specific work cap (see above)
   bool incremental = true;       ///< delta-oracle scoring (naive when false)
+  GraphCore core = GraphCore::kCsr;  ///< delta-oracle graph core
 };
 
 /// What a backend returns. `lower_bound` is always an admissible bound on
@@ -147,6 +151,7 @@ struct GreedySwapDescent {
   BestResponse refined;  ///< swap descent started from `coarse`
 };
 [[nodiscard]] GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player,
-                                                    CostVersion version, bool incremental);
+                                                    CostVersion version, bool incremental,
+                                                    GraphCore core = GraphCore::kCsr);
 
 }  // namespace bbng

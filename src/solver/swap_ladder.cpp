@@ -11,7 +11,7 @@ SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersio
   // node_limit IS the legacy exact_limit, verbatim: 0 disables the exact
   // path (it never meant "unlimited" here), preserving pre-registry
   // behaviour bit-for-bit for every exact_limit a caller ever passed.
-  const BestResponseSolver ladder(version, budget.node_limit, budget.incremental);
+  const BestResponseSolver ladder(version, budget.node_limit, budget.incremental, budget.core);
 
   SolverResult result;
   result.solver = std::string(name());

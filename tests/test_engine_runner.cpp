@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine/sinks.hpp"
 
@@ -214,7 +215,13 @@ TEST_F(EngineRunnerTest, HeaderRecordsHostMetadataAndSummaryAggregates) {
   EXPECT_EQ(file.header.at("spec_fingerprint").as_string(), spec_fingerprint(kCampaignText));
   EXPECT_EQ(file.header.at("total_jobs").as_uint(), campaign_.num_jobs());
   const JsonValue& host = file.header.at("host");
+  // host_threads is pinned to the machine's hardware concurrency — and only
+  // that. The runner's own thread count (cfg.threads = 2 here) must never
+  // leak into the header: artifacts are byte-identical at any thread count,
+  // so the header can only record machine facts, not run configuration.
   EXPECT_TRUE(host.at("host_threads").is_int());
+  EXPECT_EQ(host.at("host_threads").as_uint(),
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   EXPECT_FALSE(host.at("compiler").as_string().empty());
   EXPECT_FALSE(host.at("build_type").as_string().empty());
   EXPECT_FALSE(host.at("git_sha").as_string().empty());

@@ -258,6 +258,45 @@ TEST(EngineSpec, ParsesSolverAndSolverBudgetParams) {
   EXPECT_EQ(plain.scenarios[0].params.solver_deadline_ms, 0u);
 }
 
+TEST(EngineSpec, ParsesGraphCoreParam) {
+  // graph_core selects the oracle's adjacency layout; both values are legal
+  // on the tasks that score strategies, csr is the default, and anything
+  // else is rejected by name.
+  const CampaignSpec vec = parse_campaign_spec(R"({
+    "name": "core_probe",
+    "task": "swap_equilibrium",
+    "version": "sum",
+    "budgets": {"family": "tree"},
+    "grid": {"n": [7]},
+    "seeds": {"begin": 0, "end": 2},
+    "params": {"graph_core": "vector"}})");
+  EXPECT_EQ(vec.scenarios[0].params.graph_core, GraphCore::kVector);
+  const CampaignSpec csr = parse_campaign_spec(R"({
+    "name": "core_probe",
+    "task": "dynamics",
+    "version": "sum",
+    "budgets": {"family": "tree"},
+    "grid": {"n": [7]},
+    "seeds": {"begin": 0, "end": 2},
+    "params": {"graph_core": "csr"}})");
+  EXPECT_EQ(csr.scenarios[0].params.graph_core, GraphCore::kCsr);
+  EXPECT_EQ(parse_campaign_spec(kValidSingle).scenarios[0].params.graph_core, GraphCore::kCsr)
+      << "csr must be the default";
+  try {
+    static_cast<void>(parse_campaign_spec(R"({
+      "name": "core_probe",
+      "task": "dynamics",
+      "version": "sum",
+      "budgets": {"family": "tree"},
+      "grid": {"n": [7]},
+      "seeds": {"begin": 0, "end": 2},
+      "params": {"graph_core": "linked_list"}})"));
+    FAIL() << "unknown graph_core accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("graph_core"), std::string::npos) << error.what();
+  }
+}
+
 TEST(EngineSpec, MalformedJsonSurfacesParsePosition) {
   EXPECT_THROW(static_cast<void>(parse_campaign_spec("{\"name\": }")), JsonParseError);
 }

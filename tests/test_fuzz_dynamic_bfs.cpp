@@ -4,7 +4,11 @@
 // disconnecting deletes and reconnecting inserts — and check distances,
 // aggregates, and the shortest-path tree against a from-scratch BfsRunner
 // recompute after every step, for repair-only, fallback-only, and default
-// threshold configurations.
+// threshold configurations. A second family runs the vector-core and
+// CSR-core instantiations of the oracle side by side on identical op
+// sequences (inserts, deletes, trial probes, fallback-threshold crossings)
+// and demands bit-for-bit agreement on every observable, including the
+// instrumentation counters.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +16,7 @@
 #include <utility>
 
 #include "graph/bfs.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/dynamic_bfs.hpp"
 #include "graph/generators.hpp"
 #include "graph/ugraph.hpp"
@@ -154,6 +159,131 @@ TEST(FuzzDynamicBfs, SeededFromRandomGraphThenPerturbed) {
         continue;
       }
       expect_matches_recompute(oracle, reference, step);
+    }
+  }
+}
+
+/// Bit-for-bit comparison of every observable of the two core
+/// instantiations, including the shortest-path tree and the counters.
+void expect_cores_identical(const DynamicBfs& vec, const CsrDynamicBfs& csr, int step) {
+  const std::uint32_t n = vec.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    ASSERT_EQ(vec.dist(v), csr.dist(v)) << "step " << step << " vertex " << v;
+    ASSERT_EQ(vec.parent(v), csr.parent(v)) << "step " << step << " vertex " << v;
+  }
+  ASSERT_EQ(vec.reached(), csr.reached()) << "step " << step;
+  ASSERT_EQ(vec.sum_dist(), csr.sum_dist()) << "step " << step;
+  ASSERT_EQ(vec.max_dist(), csr.max_dist()) << "step " << step;
+  ASSERT_EQ(vec.ops(), csr.ops()) << "step " << step;
+  ASSERT_EQ(vec.full_rebuilds(), csr.full_rebuilds()) << "step " << step;
+  ASSERT_EQ(vec.touched(), csr.touched()) << "step " << step;
+}
+
+/// Drive a DynamicBfs and a CsrDynamicBfs through the same random op
+/// sequence — inserts, disconnecting deletes, and trial probes — and demand
+/// bit-for-bit agreement after every operation. Because both cores keep
+/// sorted adjacency, the BFS visit order, repair order, fallback decisions,
+/// and the touched() work counter must all coincide exactly.
+void csr_differential_walk(std::uint64_t seed, std::uint32_t n, std::uint32_t rebuild_threshold,
+                           int steps, double insert_bias) {
+  Rng rng(seed);
+  DynamicBfs vec(UGraph(n), /*source=*/0, rebuild_threshold);
+  CsrDynamicBfs csr(CsrUGraph(n), /*source=*/0, rebuild_threshold);
+  BfsRunner reference(n);
+  std::set<Edge> shadow;
+
+  for (int step = 0; step < steps; ++step) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (rng.next_bool(insert_bias) && !shadow.count(key(u, v))) {
+      vec.insert_edge(u, v);
+      csr.insert_edge(u, v);
+      shadow.insert(key(u, v));
+    } else if (shadow.count(key(u, v))) {
+      vec.delete_edge(u, v);
+      csr.delete_edge(u, v);
+      shadow.erase(key(u, v));
+    } else {
+      continue;
+    }
+    ASSERT_EQ(csr.graph().num_edges(), shadow.size());
+    expect_cores_identical(vec, csr, step);
+    // Anchor both cores to ground truth as well, so a shared bug in the
+    // templated oracle cannot hide behind the differential agreement.
+    if (step % 25 == 0) expect_matches_recompute(vec, reference, step);
+
+    // Trial probes through both journals: agreement must hold inside the
+    // trial and after rollback.
+    if (step % 7 == 0) {
+      const auto a = static_cast<Vertex>(rng.next_below(n));
+      const auto b = static_cast<Vertex>(rng.next_below(n));
+      if (a != b && !shadow.count(key(a, b))) {
+        vec.begin_trial();
+        csr.begin_trial();
+        vec.insert_edge(a, b);
+        csr.insert_edge(a, b);
+        expect_cores_identical(vec, csr, step);
+        vec.rollback_trial();
+        csr.rollback_trial();
+        expect_cores_identical(vec, csr, step);
+      }
+    }
+  }
+}
+
+TEST(FuzzCsrDynamicBfs, RepairPathCoresAgreeBitForBit) {
+  csr_differential_walk(/*seed=*/7201, /*n=*/26, /*rebuild_threshold=*/26, /*steps=*/3000, 0.55);
+}
+
+TEST(FuzzCsrDynamicBfs, FallbackPathCoresAgreeBitForBit) {
+  csr_differential_walk(/*seed=*/7202, /*n=*/20, /*rebuild_threshold=*/1, /*steps=*/2000, 0.55);
+}
+
+TEST(FuzzCsrDynamicBfs, ThresholdBoundaryCoresAgreeBitForBit) {
+  // Threshold 3 keeps both oracles crossing the repair/fallback boundary;
+  // the fallback decision depends on the subtree size, so agreement here
+  // proves the cores collect identical subtrees.
+  csr_differential_walk(/*seed=*/7203, /*n=*/24, /*rebuild_threshold=*/3, /*steps=*/2500, 0.5);
+}
+
+TEST(FuzzCsrDynamicBfs, ShreddingWalkCoresAgreeBitForBit) {
+  csr_differential_walk(/*seed=*/7204, /*n=*/18, /*rebuild_threshold=*/18, /*steps=*/2500, 0.45);
+}
+
+TEST(FuzzCsrDynamicBfs, SeededFromRandomGraphCoresAgreeBitForBit) {
+  // Start both cores from the same dense seeded graph so early deletes hit
+  // deep trees; also exercises the CsrUGraph(const UGraph&) rebuild path as
+  // an oracle substrate rather than the empty-graph patch path.
+  Rng rng(7205);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint32_t n = 16 + 8 * static_cast<std::uint32_t>(round % 3);
+    const UGraph g = connected_erdos_renyi(n, 0.12, rng);
+    std::set<Edge> shadow;
+    for (Vertex a = 0; a < n; ++a) {
+      for (const Vertex b : g.neighbors(a)) {
+        if (a < b) shadow.insert(key(a, b));
+      }
+    }
+    const auto source = static_cast<Vertex>(rng.next_below(n));
+    DynamicBfs vec(g, source, /*rebuild_threshold=*/n);
+    CsrDynamicBfs csr(CsrUGraph(g), source, /*rebuild_threshold=*/n);
+    for (int step = 0; step < 400; ++step) {
+      const auto u = static_cast<Vertex>(rng.next_below(n));
+      const auto v = static_cast<Vertex>(rng.next_below(n));
+      if (u == v) continue;
+      if (shadow.count(key(u, v))) {
+        vec.delete_edge(u, v);
+        csr.delete_edge(u, v);
+        shadow.erase(key(u, v));
+      } else if (rng.next_bool(0.4)) {
+        vec.insert_edge(u, v);
+        csr.insert_edge(u, v);
+        shadow.insert(key(u, v));
+      } else {
+        continue;
+      }
+      expect_cores_identical(vec, csr, step);
     }
   }
 }

@@ -1,0 +1,212 @@
+// Workspace arena + pool tests: zero steady-state heap allocations for
+// warmed-up BFS / dynamic-BFS queries (proved two ways — a counting global
+// operator new local to this binary, and the arena's own grows() /
+// footprint_bytes() instrumentation), monotone bind semantics, epoch
+// wrap-around, and pool lease exclusivity under concurrency (the TSan preset
+// runs this suite; a shared workspace handed to two holders is a data race
+// it would flag even if the in_use_ assertion were compiled out).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/dynamic_bfs.hpp"
+#include "graph/generators.hpp"
+#include "game/strategy_eval.hpp"
+#include "parallel/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting allocator for this test binary only (tests link one binary per
+// suite). Counts every operator-new; frees are irrelevant to the claim.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bbng {
+namespace {
+
+TEST(Workspace, BindIsMonotoneAndGrowCounted) {
+  Workspace ws;
+  EXPECT_EQ(ws.bound_n(), 0U);
+  EXPECT_EQ(ws.grows(), 0U);
+  ws.bind(100);
+  EXPECT_EQ(ws.bound_n(), 100U);
+  EXPECT_EQ(ws.grows(), 1U);
+  const std::uint64_t footprint = ws.footprint_bytes();
+  EXPECT_GT(footprint, 0U);
+  ws.bind(40);  // never shrinks
+  EXPECT_EQ(ws.bound_n(), 100U);
+  EXPECT_EQ(ws.grows(), 1U);
+  EXPECT_EQ(ws.footprint_bytes(), footprint);
+  ws.bind(200);
+  EXPECT_EQ(ws.bound_n(), 200U);
+  EXPECT_EQ(ws.grows(), 2U);
+  EXPECT_GE(ws.footprint_bytes(), footprint);
+}
+
+TEST(Workspace, EpochWrapClearsMarks) {
+  Workspace ws;
+  ws.bind(8);
+  std::uint32_t epoch = ws.next_epoch();
+  ws.mark[3] = epoch;
+  ws.epoch = 0xffffffffU - 1;  // fast-forward to the wrap boundary
+  epoch = ws.next_epoch();
+  EXPECT_EQ(epoch, 0xffffffffU);
+  ws.mark[5] = epoch;
+  epoch = ws.next_epoch();  // wraps: marks cleared, epoch restarts at 1
+  EXPECT_EQ(epoch, 1U);
+  for (const std::uint32_t m : ws.mark) EXPECT_EQ(m, 0U);
+}
+
+TEST(Workspace, BfsSweepIsAllocationFreeOnceWarm) {
+  Rng rng(4242);
+  const UGraph g = connected_erdos_renyi(400, 0.02, rng);
+  const CsrUGraph csr(g);
+  Workspace ws;
+  BfsAggregates ref = bfs_workspace(g, Vertex{0}, ws);  // warm-up binds the arena
+
+  const std::uint64_t grows = ws.grows();
+  const std::uint64_t footprint = ws.footprint_bytes();
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  // No gtest assertions inside the counted region (their failure paths
+  // allocate); fold everything into checksums and compare after.
+  std::uint64_t mismatches = 0;
+  std::uint64_t first_sum = 0;
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    for (Vertex s = 0; s < 40; ++s) {
+      const BfsAggregates a = bfs_workspace(g, s, ws);
+      const BfsAggregates b = bfs_workspace(csr, s, ws);
+      mismatches +=
+          (a.reached != b.reached) + (a.max_dist != b.max_dist) + (a.sum_dist != b.sum_dist);
+      if (s == 0) first_sum = a.sum_dist;
+    }
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), news_before)
+      << "steady-state bfs_workspace queries must not allocate";
+  EXPECT_EQ(mismatches, 0U);
+  EXPECT_EQ(first_sum, ref.sum_dist);
+  EXPECT_EQ(ws.grows(), grows);
+  EXPECT_EQ(ws.footprint_bytes(), footprint);
+}
+
+TEST(Workspace, DynamicBfsProbesAreAllocationFreeOnceWarm) {
+  Rng rng(4243);
+  const UGraph base = connected_erdos_renyi(300, 0.03, rng);
+  Workspace ws;
+  DynamicBfs oracle(base, /*source=*/0, /*rebuild_threshold=*/0, /*track_max=*/true, &ws);
+
+  // Warm-up: trial journals and the repair buckets reach their steady
+  // capacity during the first probe rounds.
+  for (Vertex t = 1; t < 50; ++t) {
+    if (base.has_edge(0, t)) continue;
+    oracle.begin_trial();
+    oracle.insert_edge(0, t);
+    oracle.rollback_trial();
+  }
+
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t grows = ws.grows();
+  for (int round = 0; round < 20; ++round) {
+    for (Vertex t = 1; t < 50; ++t) {
+      if (base.has_edge(0, t)) continue;
+      oracle.begin_trial();
+      oracle.insert_edge(0, t);
+      oracle.rollback_trial();
+    }
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), news_before)
+      << "steady-state trial probes must not allocate";
+  EXPECT_EQ(ws.grows(), grows);
+}
+
+TEST(WorkspacePool, LeasesRecycleAndCreatedStaysAtPeak) {
+  WorkspacePool pool;
+  EXPECT_EQ(pool.created(), 0U);
+  {
+    const WorkspacePool::Lease a = pool.acquire(10);
+    const WorkspacePool::Lease b = pool.acquire(20);
+    EXPECT_EQ(pool.created(), 2U);
+    EXPECT_NE(&a.ws(), &b.ws());
+  }
+  for (int i = 0; i < 100; ++i) {
+    const WorkspacePool::Lease lease = pool.acquire(15);
+    EXPECT_LE(lease.ws().bound_n(), 20U);
+  }
+  EXPECT_EQ(pool.created(), 2U) << "sequential leases must recycle, not allocate";
+  EXPECT_EQ(pool.leases(), 102U);
+}
+
+TEST(WorkspacePool, ConcurrentWorkersNeverShareAWorkspace) {
+  WorkspacePool pool;
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint32_t kN = 512;
+  std::atomic<std::uint32_t> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&pool, &failures, w] {
+      for (int iter = 0; iter < 50; ++iter) {
+        const WorkspacePool::Lease lease = pool.acquire(kN);
+        Workspace& ws = lease.ws();
+        // Stamp the whole arena with this worker's id, yield, then verify:
+        // a second concurrent holder would tear the pattern (and TSan would
+        // flag the racing writes outright).
+        for (std::uint32_t i = 0; i < kN; ++i) ws.dist[i] = w;
+        std::this_thread::yield();
+        for (std::uint32_t i = 0; i < kN; ++i) {
+          if (ws.dist[i] != w) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0U);
+  EXPECT_LE(pool.created(), static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(pool.leases(), static_cast<std::uint64_t>(kThreads) * 50U);
+}
+
+TEST(WorkspacePool, SharedOracleScratchKeepsDeltaEvaluatorExact) {
+  // Two evaluators time-share one workspace on the same thread — the
+  // per-operation protocol (cleared waves, epoch-stamped marks) must keep
+  // them independent and bit-identical to privately-scratched evaluators.
+  Rng rng(4244);
+  const Digraph g = random_profile(random_budgets(24, 40, rng), rng);
+  Workspace ws;
+  for (const CostVersion version : {CostVersion::Sum, CostVersion::Max}) {
+    DeltaEvaluatorT<UGraph> shared_a(g, 0, version, 0, &ws);
+    DeltaEvaluatorT<CsrUGraph> shared_b(g, 1, version, 0, &ws);
+    DeltaEvaluator own_a(g, 0, version);
+    CsrDeltaEvaluator own_b(g, 1, version);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (t != 0 && !shared_a.has_head(t)) {
+        ASSERT_EQ(shared_a.cost_with_head(t), own_a.cost_with_head(t)) << to_string(version);
+      }
+      if (t != 1 && !shared_b.has_head(t)) {
+        ASSERT_EQ(shared_b.cost_with_head(t), own_b.cost_with_head(t)) << to_string(version);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbng
