@@ -29,6 +29,14 @@ With ``--csr-output PATH`` it additionally runs ``bench_csr`` (CSR vs
 vector graph core: bit-identical swap sweeps plus the flat-memory large-n
 smoke when ``--csr-large-n`` is nonzero) and writes ``BENCH_csr.json``.
 
+With ``--multi-bfs-output PATH`` it additionally runs ``bench_multi_bfs``
+(batched 64-lane multi-source BFS vs per-seed sweeps) and writes
+``BENCH_multi_bfs.json``: the corpus work counts (row scans vs settled
+pairs — the batching gain), the Nash-audit prepass comparison when
+``--multi-bfs-audit-n`` is nonzero (>= 512 asserts the 8x row-scan
+saving), and the flat-memory large-n smoke when ``--multi-bfs-large-n``
+is nonzero.
+
 Usage:
     python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
                                  [--min-n 128] [--max-n 1024] [--players 24] [--seed 1]
@@ -36,6 +44,8 @@ Usage:
                                  [--solver-min-n 10] [--solver-max-n 18]
                                  [--solver-instances 12]
                                  [--csr-output BENCH_csr.json] [--csr-large-n 1000]
+                                 [--multi-bfs-output BENCH_multi_bfs.json]
+                                 [--multi-bfs-audit-n 512] [--multi-bfs-large-n 1000000]
 """
 
 import argparse
@@ -132,6 +142,23 @@ def main():
         type=int,
         default=0,
         help="grid side for bench_csr's large-n smoke (1000 -> n=10^6); 0 skips it",
+    )
+    parser.add_argument(
+        "--multi-bfs-output",
+        default="",
+        help="also run bench_multi_bfs and write this JSON (empty = skip)",
+    )
+    parser.add_argument(
+        "--multi-bfs-audit-n",
+        type=int,
+        default=0,
+        help="Nash audit instance size for bench_multi_bfs (512 = acceptance); 0 skips it",
+    )
+    parser.add_argument(
+        "--multi-bfs-large-n",
+        type=int,
+        default=0,
+        help="vertex count for bench_multi_bfs's large-n smoke (10^6 release); 0 skips it",
     )
     args = parser.parse_args()
     build = pathlib.Path(args.build_dir)
@@ -292,6 +319,94 @@ def main():
         }
         pathlib.Path(args.csr_output).write_text(json.dumps(csr_payload, indent=2) + "\n")
         print(f"wrote {args.csr_output} ({len(csr_rows)} + {len(large_rows)} rows)")
+
+    if args.multi_bfs_output:
+        multi_out = run_binary(
+            build / "bench_multi_bfs",
+            [
+                "--csv",
+                "--min-n", str(args.min_n),
+                "--max-n", str(args.max_n),
+                "--seed", str(args.seed),
+                "--audit-n", str(args.multi_bfs_audit_n),
+                "--large-n", str(args.multi_bfs_large_n),
+            ],
+        )
+        corpus_rows = []
+        for record in parse_csv_table(multi_out, "family"):
+            corpus_rows.append(
+                {
+                    "family": record["family"],
+                    "n": int(record["n"]),
+                    "sources": int(record["sources"]),
+                    "sweeps": int(record["sweeps"]),
+                    "row_scans": int(record["row_scans"]),
+                    "settled": int(record["settled"]),
+                    "scan_saving": float(record["scan_saving"]),
+                    "per_seed_ms": float(record["per_seed_ms"]),
+                    "batched_ms": float(record["batched_ms"]),
+                    "speedup": float(record["speedup"]),
+                }
+            )
+        audit_rows = []
+        for record in parse_csv_table(multi_out, "audit_n"):
+            audit_rows.append(
+                {
+                    "audit_n": int(record["audit_n"]),
+                    "version": record["version"],
+                    "skipped": int(record["skipped"]),
+                    "sweeps": int(record["sweeps"]),
+                    "row_scans": int(record["row_scans"]),
+                    "settled": int(record["settled"]),
+                    "scan_saving": float(record["scan_saving"]),
+                    "per_seed_ms": float(record["per_seed_ms"]),
+                    "batched_ms": float(record["batched_ms"]),
+                    "speedup": float(record["speedup"]),
+                }
+            )
+        large_bfs_rows = []
+        for record in parse_csv_table(multi_out, "phase"):
+            large_bfs_rows.append(
+                {
+                    "phase": record["phase"],
+                    "n": int(record["n"]),
+                    "sources": int(record["sources"]),
+                    "row_scans": int(record["row_scans"]),
+                    "settled": int(record["settled"]),
+                    "scan_saving": float(record["scan_saving"]),
+                    "ms": float(record["ms"]),
+                    "footprint_mb": float(record["footprint_mb"]),
+                    "flat": int(record["flat"]),
+                }
+            )
+        if not corpus_rows and not audit_rows and not large_bfs_rows:
+            print("error: no CSV rows parsed from bench_multi_bfs output:", file=sys.stderr)
+            print(multi_out, file=sys.stderr)
+            sys.exit(2)
+        multi_payload = {
+            "bench": "multi_bfs",
+            "host": host_metadata(build),
+            "config": {
+                "min_n": args.min_n,
+                "max_n": args.max_n,
+                "seed": args.seed,
+                "audit_n": args.multi_bfs_audit_n,
+                "large_n": args.multi_bfs_large_n,
+            },
+            "rows": corpus_rows,
+            "audit_rows": audit_rows,
+            "large_n_rows": large_bfs_rows,
+        }
+        pathlib.Path(args.multi_bfs_output).write_text(
+            json.dumps(multi_payload, indent=2) + "\n"
+        )
+        print(
+            f"wrote {args.multi_bfs_output} "
+            f"({len(corpus_rows)} + {len(audit_rows)} + {len(large_bfs_rows)} rows)"
+        )
+        if audit_rows:
+            best = max(r["scan_saving"] for r in audit_rows)
+            print(f"audit prepass row-scan saving: {best:.2f}x")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,16 @@
 #include "engine/hostinfo.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace bbng {
 
 HostInfo host_info() {
   HostInfo info;
-  info.host_threads = std::thread::hardware_concurrency();
+  // hardware_concurrency() may legitimately return 0 ("not computable");
+  // clamp to ≥ 1 exactly like the thread pool does, so artifact headers
+  // never record a zero-thread host.
+  info.host_threads = std::max(1U, std::thread::hardware_concurrency());
 #if defined(__clang__)
   info.compiler = std::string("Clang ") + __clang_version__;
 #elif defined(__GNUC__)

@@ -16,7 +16,7 @@
 namespace bbng {
 
 struct HostInfo {
-  unsigned host_threads = 0;  ///< std::thread::hardware_concurrency()
+  unsigned host_threads = 0;  ///< hardware_concurrency(), clamped to ≥ 1
   std::string compiler;       ///< e.g. "GCC 12.2.0"
   std::string build_type;     ///< CMake build type, or NDEBUG-derived fallback
   std::string git_sha;        ///< short SHA at configure time; "unknown" otherwise

@@ -110,11 +110,15 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
   // Progress goes to stderr (stdout and the artifact stay byte-clean) and is
   // reported from the workers as jobs *complete*, so a window of slow jobs
   // still speaks before its ordered commit. The ETA extrapolates this
-  // invocation's completion rate over the remaining jobs. The mutex both
-  // serialises concurrent reporters and guards last_progress.
+  // invocation's completion rate over the remaining jobs — but only once a
+  // window has actually been committed (`committed`, captured at window
+  // start on the main thread, ahead of `committed_before`): the first
+  // window's ticks print `eta ?` instead of extrapolating a near-zero
+  // elapsed time over zero committed work into an absurd estimate. The
+  // mutex both serialises concurrent reporters and guards last_progress.
   std::mutex progress_mutex;
   double last_progress = 0;
-  const auto maybe_report_progress = [&](std::uint64_t computed) {
+  const auto maybe_report_progress = [&](std::uint64_t computed, std::uint64_t committed) {
     if (!config.progress) return;
     const std::lock_guard<std::mutex> lock(progress_mutex);
     const double elapsed = timer.elapsed_seconds();
@@ -123,7 +127,7 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
     const std::uint64_t fresh = computed - report.committed_before;
     const std::uint64_t remaining = report.total_jobs - computed;
     std::string eta = "?";
-    if (fresh > 0 && elapsed > 0) {
+    if (committed > report.committed_before && fresh > 0 && elapsed > 0) {
       const double rate = static_cast<double>(fresh) / elapsed;
       char buffer[32];
       std::snprintf(buffer, sizeof(buffer), "%.1fs", static_cast<double>(remaining) / rate);
@@ -147,7 +151,8 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
     pool.run_chunked(end - begin, 1, [&](std::uint64_t lo, std::uint64_t hi) {
       for (std::uint64_t i = lo; i < hi; ++i) {
         lines[i] = run_job_line(campaign, jobs[begin + i]);
-        maybe_report_progress(begin + window_done.fetch_add(1, std::memory_order_relaxed) + 1);
+        maybe_report_progress(begin + window_done.fetch_add(1, std::memory_order_relaxed) + 1,
+                              begin);
       }
     });
     report.executed += end - begin;

@@ -3,6 +3,7 @@
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/distances.hpp"
+#include "graph/multi_bfs.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace bbng {
@@ -28,13 +29,25 @@ std::uint64_t vertex_cost(const Digraph& g, Vertex u, CostVersion version) {
   return vertex_cost(g.underlying(), u, version);
 }
 
-std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version, ThreadPool* pool) {
+std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version, ThreadPool* pool,
+                                     bool batched) {
   const std::uint32_t n = g.num_vertices();
   std::vector<std::uint64_t> costs(n);
   if (n == 0) return costs;
   const std::uint64_t inf = cinf(n);
   const std::uint32_t kappa = connected_components(g).count;
   ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  if (batched) {
+    const std::vector<BfsAggregates> aggs = all_sources_aggregates(g, &exec);
+    for (Vertex u = 0; u < n; ++u) {
+      if (version == CostVersion::Sum) {
+        costs[u] = aggs[u].sum_dist + static_cast<std::uint64_t>(n - aggs[u].reached) * inf;
+      } else {
+        costs[u] = (kappa == 1) ? aggs[u].max_dist : inf + (kappa - 1) * inf;
+      }
+    }
+    return costs;
+  }
   const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
                                                                       std::uint64_t end) {
     BfsRunner runner(n);
@@ -51,8 +64,8 @@ std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version, Threa
   return costs;
 }
 
-std::uint64_t social_cost(const UGraph& g, ThreadPool* pool) {
-  const std::uint32_t d = diameter(g, pool);
+std::uint64_t social_cost(const UGraph& g, ThreadPool* pool, bool batched) {
+  const std::uint32_t d = diameter(g, pool, batched);
   return d == kUnreachable ? cinf(g.num_vertices()) : d;
 }
 

@@ -24,12 +24,19 @@ namespace bbng {
 /// Convenience overload on a realization.
 [[nodiscard]] std::uint64_t vertex_cost(const Digraph& g, Vertex u, CostVersion version);
 
-/// All players' costs (one BFS per vertex, parallel over sources).
+/// All players' costs. `batched` (the `incremental`-style opt-out) computes
+/// every player's aggregates through the packed 64-lane MultiBfs engine
+/// (graph/multi_bfs.hpp) instead of one BFS per vertex; both paths apply the
+/// same exact aggregates to the same formulas, so costs are bit-identical.
+/// All accumulators are 64-bit end-to-end: at n = 10⁶ a path-graph SUM is
+/// ~5·10¹¹, far past uint32.
 [[nodiscard]] std::vector<std::uint64_t> all_costs(const UGraph& g, CostVersion version,
-                                                   ThreadPool* pool = nullptr);
+                                                   ThreadPool* pool = nullptr,
+                                                   bool batched = true);
 
 /// Social cost of a state = diameter of the underlying graph; the paper uses
 /// n² for disconnected states (every realization with σ < n−1 has this cost).
-[[nodiscard]] std::uint64_t social_cost(const UGraph& g, ThreadPool* pool = nullptr);
+[[nodiscard]] std::uint64_t social_cost(const UGraph& g, ThreadPool* pool = nullptr,
+                                        bool batched = true);
 
 }  // namespace bbng

@@ -6,6 +6,8 @@
 
 #include "game/cost.hpp"
 #include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/multi_bfs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "solver/registry.hpp"
 
@@ -33,15 +35,61 @@ EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
 
 NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
                                    const SolverBudget& budget, const std::string& solver,
-                                   ThreadPool* pool) {
+                                   ThreadPool* pool, bool batched) {
   const BestResponseBackend& backend = find_solver(solver);
+  const std::uint32_t n = g.num_vertices();
   NashReport report;
   report.stable = true;
   report.certified = true;
+
+  // Batched current-cost prepass: every player's current cost is a property
+  // of the ONE shared underlying graph (unlike the per-player solves, whose
+  // stripped base graphs all differ), so ⌈n/64⌉ packed MultiBfs sweeps
+  // replace the n per-seed BFS runs the audit's cost lookups amount to.
+  // A player whose current cost equals the trivial admissible lower bound
+  // (solver.hpp: SUM ≥ n−1, MAX ≥ 1) cannot improve by any deviation, so it
+  // is certified with regret 0 without invoking the backend at all.
+  std::vector<std::uint64_t> current_costs;
+  if (batched && n > 0) {
+    MultiBfsStats stats;
+    const UGraph underlying = g.underlying();
+    std::vector<BfsAggregates> aggs;
+    if (budget.core == GraphCore::kCsr) {
+      const CsrUGraph csr(underlying);
+      aggs = all_sources_aggregates(csr, pool, &stats);
+    } else {
+      aggs = all_sources_aggregates(underlying, pool, &stats);
+    }
+    report.prepass_sweeps = stats.sweeps;
+    report.prepass_row_scans = stats.row_scans;
+    report.prepass_settled = stats.settled;
+    const std::uint64_t inf = cinf(n);
+    std::uint32_t kappa = 1;
+    if (version == CostVersion::Max) kappa = connected_components(underlying).count;
+    current_costs.resize(n);
+    for (Vertex u = 0; u < n; ++u) {
+      if (version == CostVersion::Sum) {
+        current_costs[u] =
+            aggs[u].sum_dist + static_cast<std::uint64_t>(n - aggs[u].reached) * inf;
+      } else {
+        current_costs[u] = (kappa == 1) ? aggs[u].max_dist : inf + (kappa - 1) * inf;
+      }
+    }
+  }
+  const std::uint64_t bound = trivial_cost_lower_bound(n, version);
+
   // No transposition cache: the canonical key embeds the player, and each
   // player is solved exactly once per scan, so nothing could ever hit.
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+  for (Vertex u = 0; u < n; ++u) {
+    if (!current_costs.empty() && current_costs[u] == bound) {
+      ++report.players_skipped;
+      ++report.players_certified;
+      continue;
+    }
     const SolverResult result = backend.solve(g, u, version, budget, pool);
+    // The backend recomputes the current cost per player; it must agree with
+    // the batched prepass bit-for-bit (same graph, same exact distances).
+    BBNG_ASSERT(current_costs.empty() || result.current_cost == current_costs[u]);
     report.strategies_checked += result.evaluated;
     report.nodes_explored += result.nodes_explored;
     report.nodes_pruned += result.nodes_pruned;

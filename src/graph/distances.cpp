@@ -1,19 +1,23 @@
 #include "graph/distances.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "graph/multi_bfs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/workspace.hpp"
 
 namespace bbng {
 namespace {
 
-/// Aggregate sweeps share one body across graph cores. Workers lease a
-/// Workspace from the shared pool per chunk and sweep with bfs_workspace(),
-/// so steady-state sweeps allocate nothing (the pool grows to the peak
-/// worker count once, then only recycles).
+/// Aggregate sweeps share one body across graph cores. `batched` routes
+/// through the packed 64-lane MultiBfs engine (one row scan per active
+/// level); the per-seed path leases a Workspace from the shared pool per
+/// chunk and sweeps with bfs_workspace(). Both paths compute the same exact
+/// per-source aggregates, so every result below is bit-identical across the
+/// flag — the per-seed path stays as the differential witness.
 template <class G>
-EccentricityResult ecc_impl(const G& g, ThreadPool* pool) {
+EccentricityResult ecc_impl(const G& g, ThreadPool* pool, bool batched) {
   const std::uint32_t n = g.num_vertices();
   EccentricityResult result;
   result.ecc.assign(n, kUnreachable);
@@ -24,19 +28,30 @@ EccentricityResult ecc_impl(const G& g, ThreadPool* pool) {
   ThreadPool& exec = pool ? *pool : ThreadPool::shared();
 
   std::atomic<bool> connected{true};
-  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
-                                                                      std::uint64_t end) {
-    const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
-    for (std::uint64_t u = begin; u < end; ++u) {
-      const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
-      if (agg.reached != n) {
+  if (batched) {
+    const std::vector<BfsAggregates> aggs = all_sources_aggregates(g, &exec);
+    for (Vertex u = 0; u < n; ++u) {
+      if (aggs[u].reached != n) {
         connected.store(false, std::memory_order_relaxed);
       } else {
-        result.ecc[u] = agg.max_dist;
+        result.ecc[u] = aggs[u].max_dist;
       }
     }
-  };
-  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  } else {
+    const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                        std::uint64_t end) {
+      const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
+      for (std::uint64_t u = begin; u < end; ++u) {
+        const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
+        if (agg.reached != n) {
+          connected.store(false, std::memory_order_relaxed);
+        } else {
+          result.ecc[u] = agg.max_dist;
+        }
+      }
+    };
+    exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  }
 
   result.connected = connected.load(std::memory_order_relaxed);
   if (!result.connected) {
@@ -67,24 +82,33 @@ std::uint64_t sum_of_distances_impl(const G& g, Vertex u, std::uint64_t cinf) {
 }
 
 template <class G>
-std::optional<double> average_distance_impl(const G& g, ThreadPool* pool) {
+std::optional<double> average_distance_impl(const G& g, ThreadPool* pool, bool batched) {
   const std::uint32_t n = g.num_vertices();
   if (n < 2) return std::nullopt;
   ThreadPool& exec = pool ? *pool : ThreadPool::shared();
   std::atomic<bool> connected{true};
   std::atomic<std::uint64_t> total{0};
-  const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
-                                                                      std::uint64_t end) {
-    const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
-    std::uint64_t local = 0;
-    for (std::uint64_t u = begin; u < end; ++u) {
-      const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
+  if (batched) {
+    std::uint64_t sum = 0;
+    for (const BfsAggregates& agg : all_sources_aggregates(g, &exec)) {
       if (agg.reached != n) connected.store(false, std::memory_order_relaxed);
-      local += agg.sum_dist;
+      sum += agg.sum_dist;
     }
-    total.fetch_add(local, std::memory_order_relaxed);
-  };
-  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+    total.store(sum, std::memory_order_relaxed);
+  } else {
+    const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
+                                                                        std::uint64_t end) {
+      const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
+      std::uint64_t local = 0;
+      for (std::uint64_t u = begin; u < end; ++u) {
+        const BfsAggregates agg = bfs_workspace(g, static_cast<Vertex>(u), lease.ws());
+        if (agg.reached != n) connected.store(false, std::memory_order_relaxed);
+        local += agg.sum_dist;
+      }
+      total.fetch_add(local, std::memory_order_relaxed);
+    };
+    exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  }
   if (!connected.load(std::memory_order_relaxed)) return std::nullopt;
   const auto pairs = static_cast<double>(n) * (n - 1);
   return static_cast<double>(total.load(std::memory_order_relaxed)) / pairs;
@@ -92,18 +116,20 @@ std::optional<double> average_distance_impl(const G& g, ThreadPool* pool) {
 
 }  // namespace
 
-EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool) { return ecc_impl(g, pool); }
-
-EccentricityResult eccentricities(const CsrUGraph& g, ThreadPool* pool) {
-  return ecc_impl(g, pool);
+EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool, bool batched) {
+  return ecc_impl(g, pool, batched);
 }
 
-std::uint32_t diameter(const UGraph& g, ThreadPool* pool) {
-  return eccentricities(g, pool).diameter;
+EccentricityResult eccentricities(const CsrUGraph& g, ThreadPool* pool, bool batched) {
+  return ecc_impl(g, pool, batched);
 }
 
-std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool) {
-  return eccentricities(g, pool).diameter;
+std::uint32_t diameter(const UGraph& g, ThreadPool* pool, bool batched) {
+  return eccentricities(g, pool, batched).diameter;
+}
+
+std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool, bool batched) {
+  return eccentricities(g, pool, batched).diameter;
 }
 
 std::uint32_t diameter_lower_bound(const UGraph& g, std::uint32_t samples, Rng& rng) {
@@ -138,10 +164,36 @@ std::uint64_t sum_of_distances(const CsrUGraph& g, Vertex u, std::uint64_t cinf)
   return sum_of_distances_impl(g, u, cinf);
 }
 
-std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool) {
+std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool, bool batched) {
   const std::uint32_t n = g.num_vertices();
   std::vector<std::vector<std::uint32_t>> matrix(n);
   ThreadPool& exec = pool ? *pool : ThreadPool::shared();
+  if (n == 0) return matrix;
+  if (batched) {
+    // One 64-lane sweep fills 64 matrix rows via the settle hook; rows start
+    // kUnreachable so cross-component entries match the per-seed path.
+    const std::uint64_t batches = (n + MultiBfs::kLanes - 1) / MultiBfs::kLanes;
+    exec.run_chunked(batches, 1, [&](std::uint64_t lo, std::uint64_t hi) {
+      const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(n);
+      MultiBfs engine(g, &lease.ws());
+      std::array<Vertex, MultiBfs::kLanes> sources{};
+      std::array<BfsAggregates, MultiBfs::kLanes> aggs{};
+      for (std::uint64_t b = lo; b < hi; ++b) {
+        const auto first = static_cast<std::uint32_t>(b * MultiBfs::kLanes);
+        const auto count = std::min<std::uint32_t>(MultiBfs::kLanes, n - first);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          sources[i] = first + i;
+          matrix[first + i].assign(n, kUnreachable);
+        }
+        engine.run_batch(std::span<const Vertex>(sources.data(), count),
+                         std::span<BfsAggregates>(aggs.data(), count),
+                         [&](std::uint32_t lane, Vertex v, std::uint32_t level) {
+                           matrix[first + lane][v] = level;
+                         });
+      }
+    });
+    return matrix;
+  }
   const std::function<void(std::uint64_t, std::uint64_t)> chunk = [&](std::uint64_t begin,
                                                                       std::uint64_t end) {
     BfsRunner runner(n);
@@ -150,16 +202,16 @@ std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g, ThreadPool* pool) 
       matrix[u].assign(runner.dist().begin(), runner.dist().end());
     }
   };
-  if (n > 0) exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
+  exec.run_chunked(n, pick_grain(n, exec.width(), 4), chunk);
   return matrix;
 }
 
-std::optional<double> average_distance(const UGraph& g, ThreadPool* pool) {
-  return average_distance_impl(g, pool);
+std::optional<double> average_distance(const UGraph& g, ThreadPool* pool, bool batched) {
+  return average_distance_impl(g, pool, batched);
 }
 
-std::optional<double> average_distance(const CsrUGraph& g, ThreadPool* pool) {
-  return average_distance_impl(g, pool);
+std::optional<double> average_distance(const CsrUGraph& g, ThreadPool* pool, bool batched) {
+  return average_distance_impl(g, pool, batched);
 }
 
 }  // namespace bbng

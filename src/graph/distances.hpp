@@ -32,15 +32,21 @@ struct EccentricityResult {
   bool connected = false;
 };
 
-/// Exact eccentricities via one BFS per vertex, parallel over sources.
-[[nodiscard]] EccentricityResult eccentricities(const UGraph& g,
-                                                ThreadPool* pool = nullptr);
-[[nodiscard]] EccentricityResult eccentricities(const CsrUGraph& g,
-                                                ThreadPool* pool = nullptr);
+/// Exact eccentricities, parallel over sources. `batched` (the
+/// `incremental`-style opt-out) routes the sweep through the 64-lane
+/// MultiBfs engine (graph/multi_bfs.hpp) — one row scan per active level
+/// instead of one BFS per vertex; `false` keeps the per-seed bfs_workspace
+/// path as the differential witness. Results are bit-identical either way.
+[[nodiscard]] EccentricityResult eccentricities(const UGraph& g, ThreadPool* pool = nullptr,
+                                                bool batched = true);
+[[nodiscard]] EccentricityResult eccentricities(const CsrUGraph& g, ThreadPool* pool = nullptr,
+                                                bool batched = true);
 
 /// Exact diameter (kUnreachable if disconnected).
-[[nodiscard]] std::uint32_t diameter(const UGraph& g, ThreadPool* pool = nullptr);
-[[nodiscard]] std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool = nullptr);
+[[nodiscard]] std::uint32_t diameter(const UGraph& g, ThreadPool* pool = nullptr,
+                                     bool batched = true);
+[[nodiscard]] std::uint32_t diameter(const CsrUGraph& g, ThreadPool* pool = nullptr,
+                                     bool batched = true);
 
 /// Diameter lower bound from `samples` BFS sweeps (double-sweep heuristic:
 /// each sample BFS restarts from the farthest vertex found). Exact on trees.
@@ -56,13 +62,18 @@ struct EccentricityResult {
 [[nodiscard]] std::uint64_t sum_of_distances(const CsrUGraph& g, Vertex u, std::uint64_t cinf);
 
 /// Full APSP matrix (row u = BFS from u); intended for small n only.
+/// `batched` streams rows out of packed MultiBfs sweeps via its settle hook
+/// (bit-identical to the per-seed path, kUnreachable across components).
 [[nodiscard]] std::vector<std::vector<std::uint32_t>> apsp(const UGraph& g,
-                                                           ThreadPool* pool = nullptr);
+                                                           ThreadPool* pool = nullptr,
+                                                           bool batched = true);
 
 /// Mean finite pairwise distance; nullopt if disconnected or n < 2.
 [[nodiscard]] std::optional<double> average_distance(const UGraph& g,
-                                                     ThreadPool* pool = nullptr);
+                                                     ThreadPool* pool = nullptr,
+                                                     bool batched = true);
 [[nodiscard]] std::optional<double> average_distance(const CsrUGraph& g,
-                                                     ThreadPool* pool = nullptr);
+                                                     ThreadPool* pool = nullptr,
+                                                     bool batched = true);
 
 }  // namespace bbng

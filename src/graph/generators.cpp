@@ -97,6 +97,22 @@ UGraph connected_erdos_renyi(std::uint32_t n, double p, Rng& rng) {
   return g;
 }
 
+UGraph sparse_connected_ugraph(std::uint32_t n, std::uint64_t extra_edges, Rng& rng) {
+  BBNG_REQUIRE(n > 0);
+  UGraph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.next_below(v));
+    g.add_edge(v, parent);
+  }
+  for (std::uint64_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
 UGraph grid_graph(std::uint32_t rows, std::uint32_t cols) {
   BBNG_REQUIRE(rows > 0 && cols > 0);
   UGraph g(rows * cols);

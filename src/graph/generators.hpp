@@ -38,6 +38,14 @@ namespace bbng {
 /// Connected G(n, p): a random spanning tree plus G(n,p) edges.
 [[nodiscard]] UGraph connected_erdos_renyi(std::uint32_t n, double p, Rng& rng);
 
+/// Connected sparse random graph in O(n + extra_edges): a random-attachment
+/// spanning tree (depth O(log n)) plus `extra_edges` uniform random extra
+/// edges (duplicates/self-loops skipped, so the realised extra count may be
+/// slightly lower). The pair-sampling ER generators above are O(n²); this is
+/// the large-n (10⁶-vertex) instance family for small-diameter sweeps.
+[[nodiscard]] UGraph sparse_connected_ugraph(std::uint32_t n, std::uint64_t extra_edges,
+                                             Rng& rng);
+
 /// rows × cols grid graph.
 [[nodiscard]] UGraph grid_graph(std::uint32_t rows, std::uint32_t cols);
 

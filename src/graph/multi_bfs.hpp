@@ -1,0 +1,218 @@
+// Batched multi-source BFS — many sources settled per pass over the rows.
+//
+// Every batch consumer in this library (the all-player current-cost scan of
+// verify_nash_equilibrium, SUM/MAX cost evaluation, eccentricity/diameter
+// sweeps, APSP) used to pay one full BFS per seed: n sweeps, each scanning
+// every reached row once. MultiBfs packs up to 64 sources ("lanes") into one
+// sweep by carrying, per vertex, a 64-bit mask of the lanes whose frontier
+// contains it (the Workspace lane planes, parallel/workspace.hpp), and
+// advancing all packed frontiers level-synchronously: a vertex's adjacency
+// row is scanned once per level it is active in for ANY lane, instead of
+// once per source that reaches it. On small-diameter instances (the paper
+// regimes) a vertex is active at only a handful of distinct levels across
+// 64 lanes, so row scans drop by roughly 64 / (distinct levels per vertex)
+// — the frontier-batching idea of the SPAA 2021 stepping framework
+// (SNIPPETS.md snippet 2) applied to unweighted BFS, with the multi-source
+// lane packing of the MS-BFS literature.
+//
+// Per-lane aggregates (reached / max_dist / sum_dist) are folded in as
+// vertices settle, so a batch returns exactly what 64 independent
+// bfs_workspace() runs would — bit-identical, since the aggregates are pure
+// functions of the (exact) distances — without materialising n×n distances.
+// An optional on_settle(lane, vertex, level) hook lets APSP-style consumers
+// stream the distances out. Work counters (sweeps, levels, row_scans,
+// settled) make the saving auditable: `settled` is precisely the number of
+// row scans the per-seed path would have performed, so
+// settled / row_scans is the measured batching gain (BENCH_multi_bfs.json).
+//
+// Templated over the graph core like DynamicBfsT: both UGraph and CsrUGraph
+// expose sorted neighbors(u) spans, so the two instantiations do identical
+// work and produce identical counters.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/ugraph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
+#include "util/assert.hpp"
+
+namespace bbng {
+
+/// Work counters of one or more batched sweeps. All four are deterministic
+/// (traversal-order-independent sums), so differential tests can pin them
+/// across graph cores and thread counts.
+struct MultiBfsStats {
+  std::uint64_t sweeps = 0;     ///< batches run (⌈sources/64⌉ per run call)
+  std::uint64_t levels = 0;     ///< level-synchronous rounds across sweeps
+  std::uint64_t row_scans = 0;  ///< (vertex, level) row scans performed
+  std::uint64_t settled = 0;    ///< (lane, vertex) pairs settled — the row
+                                ///< scans the per-seed path would have done
+
+  MultiBfsStats& operator+=(const MultiBfsStats& other) noexcept {
+    sweeps += other.sweeps;
+    levels += other.levels;
+    row_scans += other.row_scans;
+    settled += other.settled;
+    return *this;
+  }
+};
+
+/// The batched engine bound to one graph and one Workspace arena. Holds no
+/// per-batch state beyond the arena, so one instance can run any number of
+/// batches; stats() accumulates across them.
+template <class GraphT>
+class MultiBfsT {
+ public:
+  /// Lanes per sweep — one bit of the per-vertex plane word each.
+  static constexpr std::uint32_t kLanes = 64;
+
+  /// `scratch` must outlive the engine; nullptr uses an internal arena.
+  explicit MultiBfsT(const GraphT& g, Workspace* scratch = nullptr)
+      : g_(&g), ws_(scratch != nullptr ? scratch : &own_) {}
+
+  /// One packed sweep: per-lane aggregates for up to kLanes sources.
+  /// `out[i]` receives exactly what bfs_workspace(g, sources[i]) returns.
+  /// `on_settle(lane, vertex, level)` fires once per settled (lane, vertex)
+  /// pair, sources included (level 0), in level order within the batch.
+  template <class OnSettle>
+  void run_batch(std::span<const Vertex> sources, std::span<BfsAggregates> out,
+                 OnSettle&& on_settle) {
+    const std::uint32_t n = g_->num_vertices();
+    BBNG_REQUIRE(sources.size() <= kLanes);
+    BBNG_REQUIRE(out.size() == sources.size());
+    for (const Vertex s : sources) BBNG_REQUIRE(s < n);
+    Workspace& ws = *ws_;
+    ws.bind_lanes(n);
+    std::vector<std::uint64_t>& seen = ws.lane_seen;
+    std::vector<std::uint64_t>& cur = ws.lane_frontier;
+    std::vector<std::uint64_t>& nxt = ws.lane_next;
+    // The queue doubles as the level-segmented active list: [begin, end) is
+    // the current level's frontier vertices (each listed once, however many
+    // lanes are active on it); promoted vertices append behind `end`. The
+    // stack collects the vertices whose `nxt` word went nonzero this level.
+    std::vector<std::uint32_t>& active = ws.queue;
+    std::vector<std::uint32_t>& promoted = ws.stack;
+    active.clear();
+    promoted.clear();
+
+    ++stats_.sweeps;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const Vertex s = sources[i];
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (cur[s] == 0) active.push_back(s);
+      cur[s] |= bit;
+      seen[s] |= bit;
+      out[i] = BfsAggregates{/*reached=*/1, /*max_dist=*/0, /*sum_dist=*/0};
+      on_settle(static_cast<std::uint32_t>(i), s, 0U);
+    }
+    stats_.settled += sources.size();
+
+    std::uint32_t level = 0;
+    std::size_t begin = 0;
+    std::size_t end = active.size();
+    std::array<std::uint32_t, kLanes> newly{};
+    while (begin < end) {
+      ++level;
+      ++stats_.levels;
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = active[idx];
+        const std::uint64_t fmask = cur[v];
+        cur[v] = 0;
+        ++stats_.row_scans;
+        for (const Vertex w : g_->neighbors(v)) {
+          const std::uint64_t fresh = fmask & ~seen[w];
+          if (fresh == 0) continue;
+          seen[w] |= fresh;
+          if (nxt[w] == 0) promoted.push_back(w);
+          nxt[w] |= fresh;
+        }
+      }
+      // Promote next-level masks into the frontier and fold the aggregates
+      // of every (lane, vertex) pair settled at this level.
+      newly.fill(0);
+      for (const Vertex w : promoted) {
+        std::uint64_t mask = nxt[w];
+        nxt[w] = 0;
+        cur[w] = mask;
+        active.push_back(w);
+        stats_.settled += static_cast<std::uint32_t>(std::popcount(mask));
+        while (mask != 0) {
+          const auto lane = static_cast<std::uint32_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          ++newly[lane];
+          on_settle(lane, w, level);
+        }
+      }
+      promoted.clear();
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (newly[i] == 0) continue;
+        out[i].reached += newly[i];
+        out[i].max_dist = level;
+        out[i].sum_dist += static_cast<std::uint64_t>(newly[i]) * level;
+      }
+      begin = end;
+      end = active.size();
+    }
+
+    // Restore the all-zero plane invariant: `cur`/`nxt` were zeroed as they
+    // were consumed (the final level's frontier was scanned and cleared, and
+    // its last promotion round found nothing); `seen` is nonzero exactly on
+    // the vertices listed in `active`.
+    for (const Vertex v : active) seen[v] = 0;
+    active.clear();
+  }
+
+  /// Aggregate-only batch.
+  void run_batch(std::span<const Vertex> sources, std::span<BfsAggregates> out) {
+    run_batch(sources, out, [](std::uint32_t, Vertex, std::uint32_t) {});
+  }
+
+  /// Sequential batching driver: any number of sources, ⌈size/64⌉ sweeps.
+  [[nodiscard]] std::vector<BfsAggregates> run(std::span<const Vertex> sources) {
+    std::vector<BfsAggregates> out(sources.size());
+    for (std::size_t first = 0; first < sources.size(); first += kLanes) {
+      const std::size_t count = std::min<std::size_t>(kLanes, sources.size() - first);
+      run_batch(sources.subspan(first, count),
+                std::span<BfsAggregates>(out).subspan(first, count));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const GraphT& graph() const noexcept { return *g_; }
+  [[nodiscard]] const MultiBfsStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MultiBfsStats{}; }
+
+ private:
+  const GraphT* g_;
+  Workspace* ws_;
+  Workspace own_;
+  MultiBfsStats stats_;
+};
+
+using MultiBfs = MultiBfsT<UGraph>;
+using CsrMultiBfs = MultiBfsT<CsrUGraph>;
+
+/// Aggregates for every source, computed in ⌈|sources|/64⌉ packed sweeps
+/// distributed over the pool (each worker leases a pooled Workspace). Entry
+/// i is bit-identical to bfs_workspace(g, sources[i]); when `stats` is given
+/// the batch counters are summed into it (deterministic at any thread
+/// count — the counters are order-independent sums).
+template <class G>
+[[nodiscard]] std::vector<BfsAggregates> multi_source_aggregates(
+    const G& g, std::span<const Vertex> sources, ThreadPool* pool = nullptr,
+    MultiBfsStats* stats = nullptr);
+
+/// All-vertices convenience: sources = 0..n-1 (the all-player scan shape).
+template <class G>
+[[nodiscard]] std::vector<BfsAggregates> all_sources_aggregates(
+    const G& g, ThreadPool* pool = nullptr, MultiBfsStats* stats = nullptr);
+
+}  // namespace bbng

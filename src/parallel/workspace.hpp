@@ -6,8 +6,10 @@
 // query at n = 10⁶. A Workspace is the preallocated scratch arena of one
 // worker (the ResearchWorkspace pattern of SNIPPETS.md snippet 3): distance
 // / parent arrays, a queue and a stack, an epoch-stamped mark array (no
-// O(n) clears between queries), the deletion-repair bucket queue, and
-// frontier bitsets. bind(n) grows monotonically and is a no-op once the
+// O(n) clears between queries), the deletion-repair bucket queue, frontier
+// bitsets, and — behind a separate bind_lanes() — the per-vertex 64-lane
+// bitmask planes the batched multi-source engine (graph/multi_bfs.hpp)
+// carries its packed frontiers in. bind(n) grows monotonically and is a no-op once the
 // arena covers n, so steady-state queries perform ZERO heap allocations —
 // grows() and footprint_bytes() instrument exactly that claim for the
 // workspace-reuse tests and BENCH_csr's flat-memory row.
@@ -51,6 +53,24 @@ class Workspace {
     bound_n_ = n;
   }
 
+  /// Ensure the multi-source lane planes (one 64-lane bitmask per vertex for
+  /// seen/frontier/next, MultiBfs in graph/multi_bfs.hpp) cover `n` vertices,
+  /// plus the queue/stack those sweeps share with BFS consumers. Separate
+  /// from bind() so consumers that never batch sources don't pay the extra
+  /// 24 bytes/vertex; monotone and allocation-free once the planes cover n.
+  /// Invariant: every MultiBfs batch leaves all three planes all-zero, so
+  /// growth (assign) never destroys live state.
+  void bind_lanes(std::uint32_t n) {
+    if (n <= lanes_bound_n_) return;
+    ++grows_;
+    lane_seen.assign(n, 0);
+    lane_frontier.assign(n, 0);
+    lane_next.assign(n, 0);
+    queue.reserve(n);
+    stack.reserve(n);
+    lanes_bound_n_ = n;
+  }
+
   /// Advance the shared mark epoch; all existing marks become stale. Handles
   /// wrap-around (astronomically rare) by clearing the mark array once.
   std::uint32_t next_epoch() {
@@ -79,6 +99,9 @@ class Workspace {
     bytes += used_levels.capacity() * sizeof(std::uint32_t);
     bytes += frontier.capacity() * sizeof(std::uint64_t);
     bytes += next_frontier.capacity() * sizeof(std::uint64_t);
+    bytes += lane_seen.capacity() * sizeof(std::uint64_t);
+    bytes += lane_frontier.capacity() * sizeof(std::uint64_t);
+    bytes += lane_next.capacity() * sizeof(std::uint64_t);
     bytes += buckets.capacity() * sizeof(std::vector<std::uint32_t>);
     for (const auto& bucket : buckets) bytes += bucket.capacity() * sizeof(std::uint32_t);
     return bytes;
@@ -97,11 +120,18 @@ class Workspace {
   std::vector<std::uint32_t> used_levels;           ///< non-empty buckets to clear
   std::vector<std::uint64_t> frontier;              ///< level-synchronous bitset
   std::vector<std::uint64_t> next_frontier;
+  // Multi-source BFS lane planes (bind_lanes): word v holds a bit per packed
+  // source ("lane") whose sweep has seen / is expanding / will expand v.
+  // MultiBfs restores all three to all-zero after every batch.
+  std::vector<std::uint64_t> lane_seen;
+  std::vector<std::uint64_t> lane_frontier;
+  std::vector<std::uint64_t> lane_next;
 
  private:
   friend class WorkspacePool;
 
   std::uint32_t bound_n_ = 0;
+  std::uint32_t lanes_bound_n_ = 0;
   std::uint64_t grows_ = 0;
   bool in_use_ = false;  // guarded by the owning pool's mutex
 };

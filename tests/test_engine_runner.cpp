@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "engine/sinks.hpp"
 
@@ -219,9 +221,12 @@ TEST_F(EngineRunnerTest, HeaderRecordsHostMetadataAndSummaryAggregates) {
   // that. The runner's own thread count (cfg.threads = 2 here) must never
   // leak into the header: artifacts are byte-identical at any thread count,
   // so the header can only record machine facts, not run configuration.
+  // Clamped to ≥ 1 because hardware_concurrency() may return 0 ("not
+  // computable") — a zero-thread host would be nonsense metadata.
   EXPECT_TRUE(host.at("host_threads").is_int());
   EXPECT_EQ(host.at("host_threads").as_uint(),
-            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+            static_cast<std::uint64_t>(
+                std::max(1U, std::thread::hardware_concurrency())));
   EXPECT_FALSE(host.at("compiler").as_string().empty());
   EXPECT_FALSE(host.at("build_type").as_string().empty());
   EXPECT_FALSE(host.at("git_sha").as_string().empty());
@@ -263,6 +268,39 @@ TEST_F(EngineRunnerTest, ProgressGoesToStderrAndNeverTheArtifact) {
   EXPECT_NE(stderr_text.find("eta"), std::string::npos) << stderr_text;
   // Progress must not perturb the artifact bytes.
   EXPECT_EQ(read_file(cfg.output_path), reference);
+}
+
+TEST_F(EngineRunnerTest, FirstProgressWindowPrintsUnknownEtaThenExtrapolates) {
+  RunnerConfig cfg = config("progress_eta.jsonl", 2);
+  cfg.progress = true;
+  cfg.progress_interval_seconds = 0;  // report after every job
+  cfg.window = 7;                     // 4 commit windows across the 28 jobs
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+
+  std::vector<std::string> lines;
+  std::istringstream stream(stderr_text);
+  for (std::string line; std::getline(stream, line);) {
+    if (line.rfind("progress:", 0) == 0) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u) << stderr_text;
+  // Before any window has committed there is no completion rate to
+  // extrapolate: every first-window tick must say `eta ?` instead of
+  // dividing a near-zero elapsed time into an absurd estimate.
+  EXPECT_NE(lines.front().find("eta ?"), std::string::npos) << lines.front();
+  // Once a window has committed, the ETA becomes a numeric extrapolation
+  // (the "s" suffix of the seconds formatter, never "?").
+  bool saw_numeric_eta = false;
+  for (const std::string& line : lines) {
+    const std::size_t at = line.find("eta ");
+    ASSERT_NE(at, std::string::npos) << line;
+    if (line[at + 4] != '?') {
+      saw_numeric_eta = true;
+      EXPECT_EQ(line.back(), 's') << line;
+    }
+  }
+  EXPECT_TRUE(saw_numeric_eta) << stderr_text;
 }
 
 }  // namespace
