@@ -37,6 +37,14 @@ pairs — the batching gain), the Nash-audit prepass comparison when
 saving), and the flat-memory large-n smoke when ``--multi-bfs-large-n``
 is nonzero.
 
+With ``--churn-output PATH`` it additionally runs ``bench_churn`` (the
+incremental ε-Nash certificate under churn vs per-event re-auditing) and
+writes ``BENCH_churn.json``: the small-n corpus with bit-identical
+checkpoint audits, the committed no-delta-heavy acceptance trace when
+``--churn-trace-n`` is nonzero (>= 512 asserts the 5x solver-invocation
+saving), and the closed-form join-only star smoke when
+``--churn-large-n`` is nonzero.
+
 Usage:
     python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
                                  [--min-n 128] [--max-n 1024] [--players 24] [--seed 1]
@@ -46,6 +54,9 @@ Usage:
                                  [--csr-output BENCH_csr.json] [--csr-large-n 1000]
                                  [--multi-bfs-output BENCH_multi_bfs.json]
                                  [--multi-bfs-audit-n 512] [--multi-bfs-large-n 1000000]
+                                 [--churn-output BENCH_churn.json]
+                                 [--churn-min-n 64] [--churn-max-n 256]
+                                 [--churn-trace-n 512] [--churn-large-n 16384]
 """
 
 import argparse
@@ -159,6 +170,25 @@ def main():
         type=int,
         default=0,
         help="vertex count for bench_multi_bfs's large-n smoke (10^6 release); 0 skips it",
+    )
+    parser.add_argument(
+        "--churn-output",
+        default="",
+        help="also run bench_churn and write this JSON (empty = skip)",
+    )
+    parser.add_argument("--churn-min-n", type=int, default=64)
+    parser.add_argument("--churn-max-n", type=int, default=256)
+    parser.add_argument(
+        "--churn-trace-n",
+        type=int,
+        default=0,
+        help="acceptance trace size for bench_churn (512 = acceptance); 0 skips it",
+    )
+    parser.add_argument(
+        "--churn-large-n",
+        type=int,
+        default=0,
+        help="star size for bench_churn's join-only large-n smoke; 0 skips it",
     )
     args = parser.parse_args()
     build = pathlib.Path(args.build_dir)
@@ -407,6 +437,101 @@ def main():
         if audit_rows:
             best = max(r["scan_saving"] for r in audit_rows)
             print(f"audit prepass row-scan saving: {best:.2f}x")
+
+    if args.churn_output:
+        churn_out = run_binary(
+            build / "bench_churn",
+            [
+                "--csv",
+                "--min-n", str(args.churn_min_n),
+                "--max-n", str(args.churn_max_n),
+                "--seed", str(args.seed),
+                "--trace-n", str(args.churn_trace_n),
+                "--large-n", str(args.churn_large_n),
+            ],
+        )
+        churn_rows = []
+        for record in parse_csv_table(churn_out, "mode"):
+            churn_rows.append(
+                {
+                    "mode": record["mode"],
+                    "n": int(record["n"]),
+                    "events": int(record["events"]),
+                    "moves": int(record["moves"]),
+                    "searches": int(record["searches"]),
+                    "cache_hits": int(record["cache_hits"]),
+                    "skips_clean": int(record["skips_clean"]),
+                    "skips_locality": int(record["skips_locality"]),
+                    "baseline_solves": int(record["baseline_solves"]),
+                    "identical": int(record["identical"]),
+                    "apply_ms": float(record["apply_ms"]),
+                    "audit_ms": float(record["audit_ms"]),
+                }
+            )
+        trace_rows = []
+        for record in parse_csv_table(churn_out, "trace_n"):
+            trace_rows.append(
+                {
+                    "trace_n": int(record["trace_n"]),
+                    "mode": record["mode"],
+                    "events": int(record["events"]),
+                    "searches": int(record["searches"]),
+                    "baseline_solves": int(record["baseline_solves"]),
+                    "saving": float(record["saving"]),
+                    "checkpoints": int(record["checkpoints"]),
+                    "identical": int(record["identical"]),
+                    "construct_ms": float(record["construct_ms"]),
+                    "apply_ms": float(record["apply_ms"]),
+                    "audit_ms": float(record["audit_ms"]),
+                    "speedup": float(record["speedup"]),
+                }
+            )
+        large_churn_rows = []
+        for record in parse_csv_table(churn_out, "phase"):
+            large_churn_rows.append(
+                {
+                    "phase": record["phase"],
+                    "n": int(record["n"]),
+                    "events": int(record["events"]),
+                    "active": int(record["active"]),
+                    "searches": int(record["searches"]),
+                    "skips_clean": int(record["skips_clean"]),
+                    "baseline_solves": int(record["baseline_solves"]),
+                    "saving": float(record["saving"]),
+                    "construct_ms": float(record["construct_ms"]),
+                    "trace_ms": float(record["trace_ms"]),
+                    "audit_ms": float(record["audit_ms"]),
+                    "identical": int(record["identical"]),
+                }
+            )
+        if not churn_rows and not trace_rows and not large_churn_rows:
+            print("error: no CSV rows parsed from bench_churn output:", file=sys.stderr)
+            print(churn_out, file=sys.stderr)
+            sys.exit(2)
+        churn_payload = {
+            "bench": "churn",
+            "host": host_metadata(build),
+            "config": {
+                "min_n": args.churn_min_n,
+                "max_n": args.churn_max_n,
+                "seed": args.seed,
+                "trace_n": args.churn_trace_n,
+                "large_n": args.churn_large_n,
+            },
+            "rows": churn_rows,
+            "trace_rows": trace_rows,
+            "large_n_rows": large_churn_rows,
+        }
+        pathlib.Path(args.churn_output).write_text(
+            json.dumps(churn_payload, indent=2) + "\n"
+        )
+        print(
+            f"wrote {args.churn_output} "
+            f"({len(churn_rows)} + {len(trace_rows)} + {len(large_churn_rows)} rows)"
+        )
+        if trace_rows:
+            best = max(r["saving"] for r in trace_rows)
+            print(f"churn solver-invocation saving: {best:.2f}x")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ std::string to_string(TaskKind kind) {
     case TaskKind::Poa: return "poa";
     case TaskKind::Audit: return "audit";
     case TaskKind::NashAudit: return "nash_audit";
+    case TaskKind::Churn: return "churn";
   }
   return "?";
 }
@@ -46,9 +47,9 @@ std::string to_string(BudgetFamily family) {
 }
 
 std::string default_solver(TaskKind task) {
-  // nash_audit exists to certify; everything else keeps the bit-compatible
-  // legacy ladder.
-  return task == TaskKind::NashAudit ? "exact_bb" : "swap";
+  // nash_audit and churn exist to certify; everything else keeps the
+  // bit-compatible legacy ladder.
+  return task == TaskKind::NashAudit || task == TaskKind::Churn ? "exact_bb" : "swap";
 }
 
 std::uint64_t ScenarioSpec::seed_count() const noexcept {
@@ -96,8 +97,9 @@ TaskKind parse_task(const std::string& text, const std::string& where) {
   if (text == "poa") return TaskKind::Poa;
   if (text == "audit") return TaskKind::Audit;
   if (text == "nash_audit") return TaskKind::NashAudit;
+  if (text == "churn") return TaskKind::Churn;
   spec_error(where, "unknown task \"" + text +
-                        "\" (expected dynamics|swap_equilibrium|poa|audit|nash_audit)");
+                        "\" (expected dynamics|swap_equilibrium|poa|audit|nash_audit|churn)");
 }
 
 CostVersion parse_version(const std::string& text, const std::string& where) {
@@ -179,6 +181,62 @@ std::vector<SeedRange> parse_seeds(const JsonValue& value, const std::string& wh
   return ranges;  // original order (it is part of the job expansion order)
 }
 
+ChurnMode parse_churn_mode(const std::string& text, const std::string& where) {
+  if (text == "track") return ChurnMode::Track;
+  if (text == "respond") return ChurnMode::Respond;
+  spec_error(where, "unknown churn mode \"" + text + "\" (expected track|respond)");
+}
+
+void parse_churn_weights(const JsonValue& object, ChurnTraceWeights& weights,
+                         const std::string& where) {
+  if (!object.is_object()) spec_error(where, "churn.weights must be an object");
+  reject_unknown_keys(object, {"join", "leave", "grow", "shrink", "perturb"}, where);
+  const auto read = [&object, &where](const char* key, std::uint32_t& slot) {
+    if (const JsonValue* value = object.find(key); value != nullptr) {
+      const std::uint64_t weight = value->as_uint();
+      if (weight > std::numeric_limits<std::uint32_t>::max()) {
+        spec_error(where, std::string("churn.weights.") + key + " does not fit 32 bits");
+      }
+      slot = static_cast<std::uint32_t>(weight);
+    }
+  };
+  read("join", weights.join);
+  read("leave", weights.leave);
+  read("grow", weights.grow);
+  read("shrink", weights.shrink);
+  read("perturb", weights.perturb);
+  if (weights.join + weights.leave + weights.grow + weights.shrink + weights.perturb == 0) {
+    spec_error(where, "churn.weights must leave at least one event kind drawable");
+  }
+}
+
+void parse_churn(const JsonValue& object, TaskParams& params, const std::string& where) {
+  if (!object.is_object()) spec_error(where, "churn must be an object");
+  reject_unknown_keys(object, {"events", "checkpoint_every", "mode", "max_budget", "weights"},
+                      where + " churn");
+  if (const JsonValue* events = object.find("events"); events != nullptr) {
+    params.churn_events = events->as_uint();
+    if (params.churn_events == 0) spec_error(where, "churn.events must be positive");
+  }
+  if (const JsonValue* every = object.find("checkpoint_every"); every != nullptr) {
+    params.churn_checkpoint_every = every->as_uint();
+  }
+  if (const JsonValue* mode = object.find("mode"); mode != nullptr) {
+    params.churn_mode = parse_churn_mode(mode->as_string(), where);
+  }
+  if (const JsonValue* max_budget = object.find("max_budget"); max_budget != nullptr) {
+    const std::uint64_t value = max_budget->as_uint();
+    if (value == 0) spec_error(where, "churn.max_budget must be positive");
+    if (value > std::numeric_limits<std::uint32_t>::max()) {
+      spec_error(where, "churn.max_budget does not fit 32 bits");
+    }
+    params.churn_max_budget = static_cast<std::uint32_t>(value);
+  }
+  if (const JsonValue* weights = object.find("weights"); weights != nullptr) {
+    parse_churn_weights(*weights, params.churn_weights, where);
+  }
+}
+
 void parse_solver_budget(const JsonValue& object, TaskParams& params, const std::string& where) {
   if (!object.is_object()) spec_error(where, "solver_budget must be an object");
   reject_unknown_keys(object, {"node_limit", "deadline_ms"}, where + " solver_budget");
@@ -209,6 +267,9 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
       break;
     case TaskKind::NashAudit:
       known = {"incremental", "graph_core", "solver", "solver_budget"};
+      break;
+    case TaskKind::Churn:
+      known = {"incremental", "graph_core", "solver", "solver_budget", "churn"};
       break;
   }
   for (const auto& [key, value] : object->members()) {
@@ -248,6 +309,8 @@ TaskParams parse_params(const JsonValue* object, TaskKind task, const std::strin
       }
     } else if (key == "solver_budget") {
       parse_solver_budget(value, params, where);
+    } else if (key == "churn") {
+      parse_churn(value, params, where);
     }
   }
   // A deadline aimed at a backend without a preemption point would be a

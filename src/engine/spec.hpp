@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "game/churn.hpp"
 #include "game/dynamics.hpp"
 #include "game/game.hpp"
 
@@ -28,6 +29,7 @@ enum class TaskKind {
   Poa,              ///< dynamics to rest, then bracket the PoA contribution
   Audit,            ///< full StateAudit of the generated state
   NashAudit,        ///< certified Nash/ε-Nash verdict via the solver registry
+  Churn,            ///< sampled churn trace with an incremental ε-Nash certificate
 };
 
 /// How the initial realization is produced.
@@ -87,6 +89,14 @@ struct TaskParams {
   /// byte-identical artifacts should leave it 0).
   std::uint64_t solver_node_limit = 0;
   std::uint64_t solver_deadline_ms = 0;
+  /// "churn" object (churn task only): events to sample, checkpoint cadence
+  /// for the from-scratch audit comparison (0 = never audit), churn mode,
+  /// the sampler's budget ceiling, and the event-kind weights.
+  std::uint64_t churn_events = 64;
+  std::uint64_t churn_checkpoint_every = 16;
+  ChurnMode churn_mode = ChurnMode::Track;
+  std::uint32_t churn_max_budget = 3;
+  ChurnTraceWeights churn_weights;
 };
 
 struct ScenarioSpec {

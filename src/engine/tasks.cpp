@@ -148,6 +148,84 @@ void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digr
   }
 }
 
+void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
+               Rng& rng) {
+  ChurnConfig config;
+  config.version = scenario.version;
+  config.mode = scenario.params.churn_mode;
+  config.solver = scenario.params.solver.empty() ? default_solver(scenario.task)
+                                                 : scenario.params.solver;
+  // Same anytime default as nash_audit: a fat query truncates (and the
+  // certificate honestly reports certified=false) instead of hanging a job.
+  config.budget.node_limit =
+      scenario.params.solver_node_limit > 0 ? scenario.params.solver_node_limit : 200'000;
+  config.budget.deadline_seconds =
+      static_cast<double>(scenario.params.solver_deadline_ms) / 1000.0;
+  config.budget.incremental = scenario.params.incremental;
+  config.budget.core = scenario.params.graph_core;
+
+  ChurnEngine engine(initial, initial.budgets(), config);
+  ChurnTraceSampler sampler(scenario.params.churn_weights, scenario.params.churn_max_budget,
+                            /*seed=*/rng());
+
+  // Checkpoints replay the from-scratch audit and compare the incremental
+  // certificate bit for bit; a divergence is recorded, not thrown, so one
+  // bad job cannot kill a campaign silently mid-checkpoint.
+  const std::uint64_t every = scenario.params.churn_checkpoint_every;
+  std::uint64_t checkpoints = 0;
+  bool checkpoints_identical = true;
+  const auto checkpoint = [&engine, &checkpoints, &checkpoints_identical] {
+    const NashReport report = engine.audit();
+    ++checkpoints;
+    checkpoints_identical = checkpoints_identical && engine.epsilon() == report.epsilon &&
+                            engine.stable() == report.stable &&
+                            (report.stable || engine.deviator() == report.deviator);
+  };
+
+  std::uint64_t applied = 0;
+  for (std::uint64_t e = 0; e < scenario.params.churn_events; ++e) {
+    const auto event = sampler.next(engine.graph(), engine.budgets());
+    if (!event) break;  // no kind feasible against the live state
+    engine.apply(*event);
+    ++applied;
+    if (every > 0 && applied % every == 0) checkpoint();
+  }
+  if (every > 0 && (applied % every != 0 || applied == 0)) checkpoint();
+
+  const ChurnStats& stats = engine.stats();
+  const UGraph underlying = engine.graph().underlying();
+  writer.field("solver", config.solver)
+      .field("mode", to_string(config.mode))
+      .field("events", applied)
+      .field("joins", stats.joins)
+      .field("leaves", stats.leaves)
+      .field("grows", stats.grows)
+      .field("shrinks", stats.shrinks)
+      .field("perturbs", stats.perturbs)
+      .field("moves", stats.moves)
+      .field("active_players", engine.active_players())
+      .field("solver_queries", stats.solver_queries)
+      .field("solver_searches", stats.solver_searches)
+      .field("cache_hits", stats.cache_hits)
+      .field("skips_trivial", stats.skips_trivial)
+      .field("skips_locality", stats.skips_locality)
+      .field("skips_clean", stats.skips_clean)
+      .field("baseline_solves", stats.baseline_solves)
+      .field("checkpoints", checkpoints)
+      .field("checkpoints_identical", checkpoints_identical)
+      .field("stable", engine.stable())
+      .field("certified", engine.certified())
+      .field("epsilon", engine.epsilon())
+      .field("connected", is_connected(underlying))
+      .field("social_cost", social_cost(underlying));
+  writer.key("deviator");
+  if (engine.stable()) {
+    writer.null();
+  } else {
+    writer.value(engine.deviator());
+  }
+}
+
 void run_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial) {
   AuditOptions options;
   options.version = scenario.version;
@@ -189,6 +267,7 @@ std::string run_job_line(const CampaignSpec& campaign, const Job& job) {
     case TaskKind::SwapEquilibrium: run_swap_equilibrium(writer, scenario, initial); break;
     case TaskKind::Audit: run_audit(writer, scenario, initial); break;
     case TaskKind::NashAudit: run_nash_audit(writer, scenario, initial); break;
+    case TaskKind::Churn: run_churn(writer, scenario, initial, rng); break;
   }
   writer.end_object();
   BBNG_ASSERT(writer.complete());
@@ -214,6 +293,11 @@ std::vector<std::pair<std::string, std::string>> list_tasks() {
        "backend (exact branch-and-bound by default) under an anytime budget; records "
        "the max regret and whether every per-player search closed (Theorem 2.1 "
        "caveat: keep n small)"},
+      {"churn",
+       "apply a sampled stream of join/leave/budget/perturbation events to a live "
+       "state while maintaining an incremental ε-Nash certificate; records the "
+       "per-event work saved over re-auditing and whether every checkpoint audit "
+       "matched the incremental certificate bit for bit"},
   };
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "game/best_response.hpp"
@@ -71,6 +72,46 @@ struct DynamicsConfig {
   /// deadlines make runs machine-dependent — leave 0 anywhere artifacts
   /// must be reproducible.
   double solver_deadline_seconds = 0;
+  /// Per-player budget caps (size n when set). Empty — the default — derives
+  /// budgets from the initial realization's out-degrees, the classic
+  /// implicit reading, bit-identical to every pre-churn run. When set, the
+  /// move loop gates players on BUDGET instead of current degree: a player
+  /// with a positive budget and no edges yet (a churn join) still gets its
+  /// turn to buy a first strategy, and BestResponse moves are solved and
+  /// applied under the cap (SolverBudget::budget_cap), resizing the strategy
+  /// to exactly the cap on the player's first visit. FirstImprovingSwap
+  /// moves preserve strategy size by definition, so zero-degree players
+  /// remain no-ops under that policy only.
+  std::vector<std::uint32_t> budgets;
+};
+
+/// Collision-safe seen-state set for improvement-cycle detection. The 64-bit
+/// realization hash only buckets states; membership is decided by comparing
+/// full canonical encodings (every player's out-degree and sorted head
+/// list), so a hash collision can never mislabel a fresh state as a repeat
+/// and truncate a run with a phantom cycle. The hasher is injectable so
+/// tests can force two distinct states into one bucket; production uses
+/// Digraph::hash().
+class SeenStateSet {
+ public:
+  using Hasher = std::uint64_t (*)(const Digraph&);
+  explicit SeenStateSet(Hasher hasher = nullptr) : hasher_(hasher) {}
+
+  /// True iff the state is new (and was inserted); false on a genuine
+  /// repeat. A hash hit against a distinct state inserts and counts a
+  /// collision instead of reporting a repeat.
+  bool insert(const Digraph& g);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_; }
+  /// Distinct states found sharing a bucket — each one a phantom cycle the
+  /// bare-hash scheme would have reported.
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+ private:
+  Hasher hasher_;  ///< nullptr = Digraph::hash
+  std::unordered_map<std::uint64_t, std::vector<std::string>> buckets_;
+  std::size_t states_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 struct DynamicsResult {
@@ -82,6 +123,9 @@ struct DynamicsResult {
   std::uint64_t moves = 0;     ///< strategy changes applied
   std::uint64_t evaluations = 0;  ///< candidate strategies scored in total
   std::uint64_t bfs_avoided = 0;  ///< evaluations served without a full BFS
+  /// Distinct states that shared a 64-bit hash during cycle detection —
+  /// phantom cycles the old bare-hash scheme would have reported.
+  std::uint64_t hash_collisions = 0;
   /// Social cost (diameter; n² while disconnected) after each round, with
   /// the initial state prepended. Filled when config.record_trajectory.
   std::vector<std::uint64_t> trajectory;

@@ -33,11 +33,44 @@ EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
   return report;
 }
 
+std::vector<std::uint64_t> batched_current_costs(const Digraph& g, CostVersion version,
+                                                 GraphCore core, ThreadPool* pool,
+                                                 MultiBfsStats* stats) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint64_t> current_costs;
+  if (n == 0) return current_costs;
+  MultiBfsStats local;
+  const UGraph underlying = g.underlying();
+  std::vector<BfsAggregates> aggs;
+  if (core == GraphCore::kCsr) {
+    const CsrUGraph csr(underlying);
+    aggs = all_sources_aggregates(csr, pool, &local);
+  } else {
+    aggs = all_sources_aggregates(underlying, pool, &local);
+  }
+  if (stats != nullptr) *stats += local;
+  const std::uint64_t inf = cinf(n);
+  std::uint32_t kappa = 1;
+  if (version == CostVersion::Max) kappa = connected_components(underlying).count;
+  current_costs.resize(n);
+  for (Vertex u = 0; u < n; ++u) {
+    if (version == CostVersion::Sum) {
+      current_costs[u] =
+          aggs[u].sum_dist + static_cast<std::uint64_t>(n - aggs[u].reached) * inf;
+    } else {
+      current_costs[u] = (kappa == 1) ? aggs[u].max_dist : inf + (kappa - 1) * inf;
+    }
+  }
+  return current_costs;
+}
+
 NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
                                    const SolverBudget& budget, const std::string& solver,
-                                   ThreadPool* pool, bool batched) {
+                                   ThreadPool* pool, bool batched,
+                                   const std::vector<std::uint32_t>* budget_caps) {
   const BestResponseBackend& backend = find_solver(solver);
   const std::uint32_t n = g.num_vertices();
+  if (budget_caps != nullptr) BBNG_REQUIRE(budget_caps->size() == n);
   NashReport report;
   report.stable = true;
   report.certified = true;
@@ -47,34 +80,16 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
   // stripped base graphs all differ), so ⌈n/64⌉ packed MultiBfs sweeps
   // replace the n per-seed BFS runs the audit's cost lookups amount to.
   // A player whose current cost equals the trivial admissible lower bound
-  // (solver.hpp: SUM ≥ n−1, MAX ≥ 1) cannot improve by any deviation, so it
-  // is certified with regret 0 without invoking the backend at all.
+  // (solver.hpp: SUM ≥ n−1, MAX ≥ 1) cannot improve by any deviation — at
+  // ANY budget cap — so it is certified with regret 0 without invoking the
+  // backend at all.
   std::vector<std::uint64_t> current_costs;
   if (batched && n > 0) {
     MultiBfsStats stats;
-    const UGraph underlying = g.underlying();
-    std::vector<BfsAggregates> aggs;
-    if (budget.core == GraphCore::kCsr) {
-      const CsrUGraph csr(underlying);
-      aggs = all_sources_aggregates(csr, pool, &stats);
-    } else {
-      aggs = all_sources_aggregates(underlying, pool, &stats);
-    }
+    current_costs = batched_current_costs(g, version, budget.core, pool, &stats);
     report.prepass_sweeps = stats.sweeps;
     report.prepass_row_scans = stats.row_scans;
     report.prepass_settled = stats.settled;
-    const std::uint64_t inf = cinf(n);
-    std::uint32_t kappa = 1;
-    if (version == CostVersion::Max) kappa = connected_components(underlying).count;
-    current_costs.resize(n);
-    for (Vertex u = 0; u < n; ++u) {
-      if (version == CostVersion::Sum) {
-        current_costs[u] =
-            aggs[u].sum_dist + static_cast<std::uint64_t>(n - aggs[u].reached) * inf;
-      } else {
-        current_costs[u] = (kappa == 1) ? aggs[u].max_dist : inf + (kappa - 1) * inf;
-      }
-    }
   }
   const std::uint64_t bound = trivial_cost_lower_bound(n, version);
 
@@ -86,7 +101,15 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
       ++report.players_certified;
       continue;
     }
-    const SolverResult result = backend.solve(g, u, version, budget, pool);
+    SolverBudget player_budget = budget;
+    if (budget_caps != nullptr) {
+      // Cap 0 is SolverBudget's "derive from degree" sentinel, so a retired
+      // player (budget 0) must already hold the empty strategy — churn's
+      // leave event guarantees it.
+      BBNG_REQUIRE((*budget_caps)[u] > 0 || g.out_degree(u) == 0);
+      player_budget.budget_cap = (*budget_caps)[u];
+    }
+    const SolverResult result = backend.solve(g, u, version, player_budget, pool);
     // The backend recomputes the current cost per player; it must agree with
     // the batched prepass bit-for-bit (same graph, same exact distances).
     BBNG_ASSERT(current_costs.empty() || result.current_cost == current_costs[u]);

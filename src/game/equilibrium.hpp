@@ -24,6 +24,7 @@
 #include "game/best_response.hpp"
 #include "game/game.hpp"
 #include "graph/digraph.hpp"
+#include "graph/multi_bfs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solver/solver.hpp"
 
@@ -114,11 +115,30 @@ struct NashReport {
 /// (nodes/strategies/bfs_avoided) are work stats, as with
 /// verify_swap_equilibrium's strategies_checked, and shrink when solves are
 /// skipped.
-[[nodiscard]] NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
-                                                 const SolverBudget& budget = {},
-                                                 const std::string& solver = "exact_bb",
-                                                 ThreadPool* pool = nullptr,
-                                                 bool batched = true);
+///
+/// `budget_caps` (size n when given) audits the state as a CHURN state:
+/// player u's deviations are solved under budget cap budget_caps[u]
+/// (SolverBudget::budget_cap) instead of its current out-degree, so a joined
+/// player that has not bought its first strategy yet, or a budget grown at a
+/// fixed neighbourhood, is audited over its real strategy space. An entry of
+/// 0 means the player is retired and must already hold the empty strategy
+/// (enforced). The trivial-bound prepass skip stays sound under caps — a
+/// current cost at the admissible floor beats every strategy of every size.
+[[nodiscard]] NashReport verify_nash_equilibrium(
+    const Digraph& g, CostVersion version, const SolverBudget& budget = {},
+    const std::string& solver = "exact_bb", ThreadPool* pool = nullptr, bool batched = true,
+    const std::vector<std::uint32_t>* budget_caps = nullptr);
+
+/// Every player's exact current cost from ⌈n/64⌉ packed MultiBfs sweeps over
+/// the one shared underlying graph (on `core`), instead of n per-seed BFS
+/// runs — bit-identical to StrategyEvaluator::current_cost per player.
+/// Shared by verify_nash_equilibrium's prepass and the churn engine's bulk
+/// certificate refresh. `stats` accumulates sweep work counters when given.
+[[nodiscard]] std::vector<std::uint64_t> batched_current_costs(const Digraph& g,
+                                                               CostVersion version,
+                                                               GraphCore core = GraphCore::kCsr,
+                                                               ThreadPool* pool = nullptr,
+                                                               MultiBfsStats* stats = nullptr);
 
 /// Lemma 2.2 sufficient condition: cMAX(u) == 1, or cMAX(u) ≤ 2 with u in no
 /// brace ⇒ u is playing a best response in BOTH versions. Returns the number

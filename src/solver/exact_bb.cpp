@@ -122,11 +122,12 @@ struct Candidate {
 
 class Search {
  public:
-  Search(const Digraph& g, Vertex player, CostVersion version, const SolverBudget& budget)
+  Search(const Digraph& g, Vertex player, CostVersion version, const SolverBudget& budget,
+         std::uint32_t cap)
       : n_(g.num_vertices()),
         player_(player),
         version_(version),
-        b_(g.out_degree(player)),
+        b_(cap),
         inf_(cinf(n_)),
         budget_(budget),
         eval_(g, player, version, budget.incremental, budget.core) {
@@ -381,7 +382,12 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
   (void)pool;  // the DFS is sequential; callers parallelise across players
   BBNG_REQUIRE(player < g.num_vertices());
   const std::uint32_t n = g.num_vertices();
-  const std::uint32_t b = g.out_degree(player);
+  // The budget cap, which is the out-degree unless a caller (churn) split
+  // them. With cap > degree the search simply runs deeper; with cap < degree
+  // the current strategy is infeasible and stops being a seed/floor — the
+  // forced-shrink optimum may exceed current_cost.
+  const std::uint32_t b = effective_budget_cap(g, player, budget);
+  const bool current_feasible = g.out_degree(player) <= b;
 
   SolverResult result;
   result.solver = std::string(name());
@@ -398,7 +404,7 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
 
   std::string key;
   if (cache != nullptr) {
-    key = TranspositionCache::make_key(g, player, version);
+    key = TranspositionCache::make_key(g, player, version, b);
     if (const SolverResult* hit = cache->find(key)) {
       SolverResult cached = *hit;
       // current_cost depends on the player's present strategy, which is not
@@ -411,18 +417,20 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
       cached.nodes_pruned = 0;
       cached.evaluated = 0;
       cached.bfs_avoided = 0;
-      BBNG_ASSERT(cached.cost <= cached.current_cost);
+      BBNG_ASSERT(!current_feasible || cached.cost <= cached.current_cost);
       return cached;
     }
   }
 
-  Search search(g, player, version, budget);
+  Search search(g, player, version, budget, b);
   result.current_cost = search.eval().current_cost();
 
-  // Incumbent seeding: the current strategy plus a greedy+swap descent. A
-  // strong incumbent is what makes the bounds bite.
-  search.offer(search.eval().current_strategy(), result.current_cost);
-  {
+  // Incumbent seeding: the current strategy plus a greedy+swap descent —
+  // only while they fit the cap (they carry exactly out-degree heads, so a
+  // forced shrink below the current degree starts from the empty incumbent
+  // the DFS root offers). A strong incumbent is what makes the bounds bite.
+  if (current_feasible) {
+    search.offer(search.eval().current_strategy(), result.current_cost);
     const GreedySwapDescent descent =
         greedy_swap_descent(g, player, version, budget.incremental, budget.core);
     search.offer(descent.coarse.strategy, descent.coarse.cost);
@@ -453,7 +461,7 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
     BBNG_ASSERT(!result.optimal || padded == result.cost);
     result.cost = padded;
   }
-  BBNG_ASSERT(result.cost <= result.current_cost);
+  BBNG_ASSERT(!current_feasible || result.cost <= result.current_cost);
   BBNG_ASSERT(result.lower_bound <= result.cost);
 
   if (cache != nullptr) cache->store(key, result);

@@ -16,9 +16,21 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
   (void)pool;
   (void)cache;
   BBNG_REQUIRE(player < g.num_vertices());
+  const std::uint32_t b = effective_budget_cap(g, player, budget);
+  if (b != g.out_degree(player)) {
+    // Every racer (swap descent, greedy fill, facility seeding) assumes
+    // budget == out-degree; a capped query races on a degree-normalized copy
+    // and re-anchors current_cost to the REAL current strategy. With cap
+    // below the current degree the returned cost may exceed it — a forced
+    // shrink is allowed to hurt.
+    SolverResult result = solve(normalize_player_degree(g, player, b), player, version,
+                                budget, pool, cache);
+    const StrategyEvaluator eval(g, player, version);
+    result.current_cost = eval.current_cost();
+    return result;
+  }
   const Timer timer;
   const std::uint32_t n = g.num_vertices();
-  const std::uint32_t b = g.out_degree(player);
 
   SolverResult result;
   result.solver = std::string(name());

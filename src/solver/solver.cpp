@@ -1,5 +1,7 @@
 #include "solver/solver.hpp"
 
+#include <algorithm>
+
 #include "game/strategy_eval.hpp"
 #include "util/rng.hpp"
 
@@ -8,6 +10,34 @@ namespace bbng {
 std::uint64_t trivial_cost_lower_bound(std::uint32_t n, CostVersion version) {
   if (n < 2) return 0;
   return version == CostVersion::Sum ? n - 1 : 1;
+}
+
+std::uint32_t effective_budget_cap(const Digraph& g, Vertex player, const SolverBudget& budget) {
+  BBNG_REQUIRE(player < g.num_vertices());
+  if (budget.budget_cap == 0) return g.out_degree(player);
+  BBNG_REQUIRE(budget.budget_cap < g.num_vertices());
+  return budget.budget_cap;
+}
+
+Digraph normalize_player_degree(const Digraph& g, Vertex player, std::uint32_t cap) {
+  const std::uint32_t n = g.num_vertices();
+  BBNG_REQUIRE(player < n && cap < n);
+  std::vector<Vertex> heads(g.out_neighbors(player).begin(), g.out_neighbors(player).end());
+  std::sort(heads.begin(), heads.end());
+  if (heads.size() > cap) {
+    heads.resize(cap);
+  } else if (heads.size() < cap) {
+    std::vector<std::uint8_t> used(n, 0);
+    used[player] = 1;
+    for (const Vertex h : heads) used[h] = 1;
+    for (Vertex t = 0; t < n && heads.size() < cap; ++t) {
+      if (!used[t]) heads.push_back(t);
+    }
+    std::sort(heads.begin(), heads.end());
+  }
+  Digraph normalized = g;
+  normalized.set_strategy(player, heads);
+  return normalized;
 }
 
 GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player, CostVersion version,
@@ -42,14 +72,19 @@ void append_u32(std::string& out, std::uint32_t value) {
 
 }  // namespace
 
-std::string TranspositionCache::make_key(const Digraph& g, Vertex player, CostVersion version) {
+std::string TranspositionCache::make_key(const Digraph& g, Vertex player, CostVersion version,
+                                         std::uint32_t budget_cap) {
   const std::uint32_t n = g.num_vertices();
   std::string key;
   key.reserve(16 + 8 * g.num_arcs());
   key.push_back(version == CostVersion::Sum ? 'S' : 'M');
   append_u32(key, n);
   append_u32(key, player);
-  append_u32(key, g.out_degree(player));
+  // The budget cap, NOT the current out-degree: the two coincide in classic
+  // runs, but a churn budget change at a fixed neighbourhood re-queries the
+  // same base graph under a different cap, and the certified optimum under
+  // one cap is stale under another.
+  append_u32(key, budget_cap);
   // In-neighbour set (sorted by construction of the scan).
   for (const Vertex w : player_in_neighbors(g, player)) append_u32(key, w);
   key.push_back('|');

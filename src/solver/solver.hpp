@@ -48,12 +48,32 @@ struct SolverBudget {
   std::uint64_t node_limit = 0;  ///< backend-specific work cap (see above)
   bool incremental = true;       ///< delta-oracle scoring (naive when false)
   GraphCore core = GraphCore::kCsr;  ///< delta-oracle graph core
+  /// Game budget cap b_i the backend must solve under. 0 (the default) keeps
+  /// the classic implicit reading — the player's current out-degree — which
+  /// is safe as a sentinel because a genuinely budget-0 player has an empty
+  /// strategy space and its callers (dynamics, audits, churn) never solve it.
+  /// Churn sets this when budget and degree diverge (a joined player before
+  /// its first purchase, a budget grown/shrunk at a fixed neighbourhood);
+  /// with cap < out-degree `cost` may legitimately exceed `current_cost`
+  /// (staying put is no longer a feasible strategy).
+  std::uint32_t budget_cap = 0;
 };
+
+/// The budget cap a backend must solve under: `budget.budget_cap` when set,
+/// else the player's current out-degree (the classic implicit-budget
+/// reading). Shared by every backend so they can never disagree on the
+/// strategy-space size of the same query.
+[[nodiscard]] std::uint32_t effective_budget_cap(const Digraph& g, Vertex player,
+                                                 const SolverBudget& budget);
 
 /// What a backend returns. `lower_bound` is always an admissible bound on
 /// the true best-response cost (trivial for heuristics); `optimal` is the
 /// certificate that `cost` *is* that optimum. `cost` never exceeds
-/// `current_cost` — staying put is always a candidate.
+/// `current_cost` when the player's current strategy is feasible (the
+/// effective budget cap ≥ its out-degree — always true without an explicit
+/// SolverBudget::budget_cap): staying put is then always a candidate. Under
+/// a cap below the current degree, a forced shrink may cost more than
+/// staying put, so `cost > current_cost` is legitimate there.
 struct SolverResult {
   std::string solver;                ///< registry name of the producing backend
   std::vector<Vertex> strategy;      ///< sorted heads of the incumbent
@@ -86,9 +106,14 @@ class TranspositionCache {
  public:
   explicit TranspositionCache(std::size_t max_entries = 4096)
       : max_entries_(max_entries) {}
-  /// Canonical key bytes for a (g, player, version) query.
+  /// Canonical key bytes for a (g, player, version, budget-cap) query.
+  /// `budget_cap` is the EFFECTIVE cap the solve runs under (see
+  /// effective_budget_cap) and is part of the key: the same neighbourhood
+  /// solved under two caps has two different certified optima, so a churn
+  /// budget change at a fixed neighbourhood must never hit the entry
+  /// certified under the old cap.
   [[nodiscard]] static std::string make_key(const Digraph& g, Vertex player,
-                                            CostVersion version);
+                                            CostVersion version, std::uint32_t budget_cap);
 
   /// Cached certified result, or nullptr. `current_cost` in the returned
   /// value is stale (it depends on the player's current strategy, which is
@@ -153,5 +178,14 @@ struct GreedySwapDescent {
 [[nodiscard]] GreedySwapDescent greedy_swap_descent(const Digraph& g, Vertex player,
                                                     CostVersion version, bool incremental,
                                                     GraphCore core = GraphCore::kCsr);
+
+/// `g` with `player`'s strategy deterministically resized to exactly `cap`
+/// heads: trimmed to its `cap` smallest heads, or padded with the
+/// smallest-indexed vertices that are neither the player nor already heads.
+/// The heuristic backends (swap ladder, portfolio) solve a capped query on
+/// this copy, because their move sets — exact enumeration at the current
+/// degree, greedy fill, single-head swaps — all assume budget == out-degree.
+/// Requires cap ≤ n − 1 (a strategy is a set of distinct non-self heads).
+[[nodiscard]] Digraph normalize_player_degree(const Digraph& g, Vertex player, std::uint32_t cap);
 
 }  // namespace bbng

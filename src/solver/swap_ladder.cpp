@@ -2,12 +2,28 @@
 
 #include <algorithm>
 
+#include "game/strategy_eval.hpp"
+
 namespace bbng {
 
 SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersion version,
                                      const SolverBudget& budget, ThreadPool* pool,
                                      TranspositionCache* cache) const {
   (void)cache;
+  const std::uint32_t cap = effective_budget_cap(g, player, budget);
+  if (cap != g.out_degree(player)) {
+    // The ladder's move set (exact enumeration at the current degree, greedy
+    // fill, single-head swaps) assumes budget == out-degree, so a capped
+    // query runs on a degree-normalized copy; only current_cost is
+    // re-anchored to the REAL current strategy afterwards. With cap below
+    // the current degree the returned cost may exceed it — a forced shrink
+    // is allowed to hurt.
+    SolverResult result = solve(normalize_player_degree(g, player, cap), player, version,
+                                budget, pool, cache);
+    const StrategyEvaluator eval(g, player, version);
+    result.current_cost = eval.current_cost();
+    return result;
+  }
   // node_limit IS the legacy exact_limit, verbatim: 0 disables the exact
   // path (it never meant "unlimited" here), preserving pre-registry
   // behaviour bit-for-bit for every exact_limit a caller ever passed.

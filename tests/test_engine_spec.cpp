@@ -258,6 +258,66 @@ TEST(EngineSpec, ParsesSolverAndSolverBudgetParams) {
   EXPECT_EQ(plain.scenarios[0].params.solver_deadline_ms, 0u);
 }
 
+TEST(EngineSpec, ParsesChurnParams) {
+  const CampaignSpec campaign = parse_campaign_spec(R"({
+    "name": "churn_probe",
+    "task": "churn",
+    "version": "sum",
+    "budgets": {"family": "tree"},
+    "grid": {"n": [9]},
+    "seeds": {"begin": 0, "end": 2},
+    "params": {"solver": "swap",
+               "churn": {"events": 40, "checkpoint_every": 10, "mode": "respond",
+                         "max_budget": 5,
+                         "weights": {"join": 8, "leave": 1, "grow": 8, "shrink": 2,
+                                     "perturb": 0}}}})");
+  ASSERT_EQ(campaign.scenarios.size(), 1u);
+  const ScenarioSpec& scenario = campaign.scenarios[0];
+  EXPECT_EQ(scenario.task, TaskKind::Churn);
+  EXPECT_EQ(scenario.params.churn_events, 40u);
+  EXPECT_EQ(scenario.params.churn_checkpoint_every, 10u);
+  EXPECT_EQ(scenario.params.churn_mode, ChurnMode::Respond);
+  EXPECT_EQ(scenario.params.churn_max_budget, 5u);
+  EXPECT_EQ(scenario.params.churn_weights.join, 8u);
+  EXPECT_EQ(scenario.params.churn_weights.perturb, 0u);
+  EXPECT_EQ(default_solver(TaskKind::Churn), "exact_bb");
+
+  const BadSpec churn_cases[] = {
+      // The churn object is strict: unknown keys and degenerate values die.
+      {R"({"name":"x","task":"churn","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"churn":{"events":0}}})",
+       "churn.events must be positive"},
+      {R"({"name":"x","task":"churn","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"churn":{"mode":"drift"}}})",
+       "unknown churn mode \"drift\""},
+      {R"({"name":"x","task":"churn","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"churn":{"cadence":3}}})",
+       "unknown key \"cadence\""},
+      {R"({"name":"x","task":"churn","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"churn":{"weights":{"join":0,"leave":0,"grow":0,"shrink":0,
+                                         "perturb":0}}}})",
+       "at least one event kind"},
+      // The churn params object belongs to the churn task only.
+      {R"({"name":"x","task":"dynamics","version":"sum","budgets":{"family":"tree"},
+           "grid":{"n":[8]},"seeds":{"begin":0,"end":1},
+           "params":{"churn":{"events":4}}})",
+       "unknown key \"churn\""},
+  };
+  for (const BadSpec& bad : churn_cases) {
+    try {
+      static_cast<void>(parse_campaign_spec(bad.text));
+      FAIL() << "accepted: " << bad.text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(bad.fragment), std::string::npos)
+          << error.what();
+    }
+  }
+}
+
 TEST(EngineSpec, ParsesGraphCoreParam) {
   // graph_core selects the oracle's adjacency layout; both values are legal
   // on the tasks that score strategies, csr is the default, and anything

@@ -162,12 +162,13 @@ TEST(EngineTasks, NashAuditAgreesAcrossSolversOnTheVerdict) {
 
 TEST(EngineTasks, ListTasksCoversEveryKind) {
   const auto tasks = list_tasks();
-  ASSERT_EQ(tasks.size(), 5u);
+  ASSERT_EQ(tasks.size(), 6u);
   EXPECT_EQ(tasks[0].first, "dynamics");
   EXPECT_EQ(tasks[1].first, "swap_equilibrium");
   EXPECT_EQ(tasks[2].first, "poa");
   EXPECT_EQ(tasks[3].first, "audit");
   EXPECT_EQ(tasks[4].first, "nash_audit");
+  EXPECT_EQ(tasks[5].first, "churn");
   for (const auto& [name, description] : tasks) EXPECT_FALSE(description.empty());
 }
 
