@@ -27,8 +27,10 @@
 //
 // scripts/run_bench.py --churn-output turns the CSV into BENCH_churn.json
 // so the claims are tracked across PRs.
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
@@ -38,6 +40,7 @@
 #include "game/churn.hpp"
 #include "game/equilibrium.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 
 namespace bbng {
 namespace {
@@ -259,6 +262,60 @@ void run_large_n(std::uint32_t n, bench::Checker& check, bool csv) {
   table.print(std::cout, csv);
 }
 
+/// Telemetry-overhead measurement: the identical deterministic trace timed
+/// with the metric registry enabled vs runtime-disabled (one relaxed load
+/// per counter site). min-of-3 repeats on each side suppresses scheduler
+/// noise; the work counters must agree exactly, proving the two runs did
+/// the same computation. The `obs_overhead_pct:` line feeds BENCH_churn.json.
+void run_obs_overhead(std::uint32_t n, std::int64_t events, std::uint64_t seed,
+                      bench::Checker& check, bool csv) {
+  bench::banner(cat("Telemetry overhead at n=", n,
+                    ": identical churn trace, registry enabled vs disabled"));
+  Table table({"obs", "n", "events", "searches", "apply_ms", "overhead_pct"});
+
+  struct Timing {
+    double best_ms = std::numeric_limits<double>::infinity();
+    std::uint64_t searches = 0;
+    std::uint64_t applied = 0;
+  };
+  const auto timed = [&](bool enabled) {
+    obs::set_enabled(enabled);
+    Timing timing;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      Rng rng(seed);
+      const Digraph g = random_profile(random_budgets(n, 2ULL * n, rng), rng);
+      ChurnConfig config;
+      config.mode = ChurnMode::Track;
+      config.solver = "swap";
+      ChurnEngine engine(g, g.budgets(), config);
+      ChurnTraceSampler sampler({}, /*max_budget=*/4, rng());
+      const TraceResult trace =
+          run_trace(engine, sampler, static_cast<std::uint64_t>(events), /*checkpoint_every=*/0);
+      timing.best_ms = std::min(timing.best_ms, trace.apply_ms);
+      timing.searches = engine.stats().solver_searches;
+      timing.applied = trace.applied;
+    }
+    obs::set_enabled(true);  // leave the registry on for later phases
+    return timing;
+  };
+  const Timing off = timed(false);
+  const Timing on = timed(true);
+  const double overhead_pct =
+      off.best_ms > 0.0 ? (on.best_ms - off.best_ms) / off.best_ms * 100.0 : 0.0;
+
+  check.expect(on.searches == off.searches && on.applied == off.applied,
+               "identical trace work with telemetry on and off");
+  // Lenient sanity ceiling — the recorded value is the tracked claim; this
+  // only catches a counter site landing in an inner loop it should not be in.
+  check.expect(!obs::kCompiledIn || overhead_pct <= 15.0,
+               cat("telemetry overhead within sanity ceiling (got ", overhead_pct, "%)"));
+  table.new_row().add("off").add(n).add(off.applied).add(off.searches).add(off.best_ms, 3).add(0.0, 2);
+  table.new_row().add("on").add(n).add(on.applied).add(on.searches).add(on.best_ms, 3).add(
+      overhead_pct, 2);
+  table.print(std::cout, csv);
+  std::cout << "obs_overhead_pct: " << overhead_pct << "\n";
+}
+
 int run(int argc, const char** argv) {
   Cli cli("bench_churn",
           "Incremental ε-Nash certificates under churn vs per-event re-auditing");
@@ -271,6 +328,10 @@ int run(int argc, const char** argv) {
   const auto trace_events = cli.add_int("trace-events", 64, "events in the acceptance trace");
   const auto large_n =
       cli.add_int("large-n", 0, "star size for the large-n smoke; 0 skips");
+  const auto obs_n = cli.add_int(
+      "obs-n", 128, "instance size for the telemetry-overhead measurement; 0 skips");
+  const auto obs_events =
+      cli.add_int("obs-events", 48, "events in the telemetry-overhead trace");
   cli.parse(argc, argv);
   bench::apply_common_flags(flags);
   bench::Checker check;
@@ -284,6 +345,10 @@ int run(int argc, const char** argv) {
   }
   if (*large_n > 0) {
     run_large_n(static_cast<std::uint32_t>(*large_n), check, *flags.csv);
+  }
+  if (*obs_n > 0) {
+    run_obs_overhead(static_cast<std::uint32_t>(*obs_n), *obs_events,
+                     static_cast<std::uint64_t>(*flags.seed), check, *flags.csv);
   }
 
   std::cout << "\nEngineering claim (not a paper claim): maintaining per-player standing "

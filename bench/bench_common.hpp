@@ -5,8 +5,11 @@
 // the experiment fails (so the harness doubles as an integration test).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "util/cli.hpp"
@@ -15,6 +18,23 @@
 #include "util/timer.hpp"
 
 namespace bbng::bench {
+
+/// Peak resident set size of this process in KiB (VmHWM from
+/// /proc/self/status), or 0 where the proc interface is unavailable. Every
+/// bench binary prints this next to its RESULT line so run_bench.py can
+/// record memory ceilings alongside wall time in the BENCH_*.json payloads.
+inline std::uint64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
 
 struct CommonFlags {
   std::shared_ptr<bool> csv;
@@ -49,7 +69,8 @@ class Checker {
     std::cout << "CHECK FAILED: " << what << "\n";
   }
   [[nodiscard]] int exit_code() const {
-    std::cout << (failed_ ? "\nRESULT: CHECKS FAILED\n" : "\nRESULT: all checks passed\n");
+    std::cout << "\npeak_rss_kb: " << peak_rss_kb() << "\n";
+    std::cout << (failed_ ? "RESULT: CHECKS FAILED\n" : "RESULT: all checks passed\n");
     return failed_ ? 1 : 0;
   }
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate deterministic work counters against committed baselines.
+
+Reads the CSV produced by ``bbng_engine report --csv --artifact <jsonl>``
+and compares the per-scenario counter totals against a committed baseline
+file (see ``baselines/nash_audit_small.obs.json``). The gated counters
+(BFS row scans, branch-and-bound nodes) are pure functions of the campaign
+spec — byte-deterministic across thread counts and kill/resume — so an
+increase is an algorithmic regression, never measurement noise.
+
+Exit codes:
+  0  every gated total within tolerance of its baseline
+  1  a gated total regressed by more than ``tolerance_pct``, or a gated
+     (scenario, counter) pair is missing from the report
+  2  usage / unreadable inputs
+
+A total that *improved* by more than the tolerance passes but is called
+out, so deliberate wins get recorded by refreshing the baseline instead of
+silently widening the headroom for future regressions.
+
+Usage:
+    bbng_engine report --csv --artifact campaign.jsonl > report.csv
+    python3 scripts/check_obs_baseline.py --csv report.csv \
+        --baseline baselines/nash_audit_small.obs.json
+"""
+
+import argparse
+import csv
+import json
+import pathlib
+import sys
+
+
+def load_report_totals(csv_path):
+    """(scenario, counter) -> total from a `bbng_engine report --csv` dump."""
+    text = pathlib.Path(csv_path).read_text()
+    lines = text.splitlines()
+    try:
+        start = next(i for i, line in enumerate(lines) if line.startswith("scenario,"))
+    except StopIteration:
+        print(f"error: {csv_path} has no report CSV header", file=sys.stderr)
+        sys.exit(2)
+    totals = {}
+    for record in csv.DictReader(lines[start:]):
+        totals[(record["scenario"], record["counter"])] = int(record["total"])
+    return totals
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--csv", required=True, help="output of bbng_engine report --csv")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    args = parser.parse_args()
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    tolerance_pct = float(baseline["tolerance_pct"])
+    totals = load_report_totals(args.csv)
+
+    failures = []
+    improvements = []
+    for scenario, counters in baseline["gated"].items():
+        for counter, expected in counters.items():
+            observed = totals.get((scenario, counter))
+            if observed is None:
+                failures.append(
+                    f"{scenario}/{counter}: missing from the report "
+                    f"(expected total {expected})"
+                )
+                continue
+            change_pct = (observed - expected) / expected * 100.0
+            line = (
+                f"{scenario}/{counter}: baseline {expected}, observed {observed} "
+                f"({change_pct:+.1f}%)"
+            )
+            if change_pct > tolerance_pct:
+                failures.append(line)
+            elif change_pct < -tolerance_pct:
+                improvements.append(line)
+            print(f"ok    {line}")
+
+    for line in improvements:
+        print(f"note  {line} — improved past tolerance; refresh the baseline")
+    if failures:
+        for line in failures:
+            print(f"FAIL  {line} (tolerance {tolerance_pct:.0f}%)", file=sys.stderr)
+        sys.exit(1)
+    print(f"all gated counters within {tolerance_pct:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

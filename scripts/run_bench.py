@@ -19,8 +19,9 @@ The JSON files are the repo's perf trajectory: CI runs this at small sizes
 and uploads the artifacts; release-sized numbers are committed at the repo
 root whenever the measured subsystem changes. Each payload's "host" block
 records where the numbers were measured (host_threads, compiler, build
-type, git SHA) so single-core CI artifacts are never misread as calibrated
-speedups.
+type, git SHA, peak_rss_kb from the bench's /proc/self/status) so
+single-core CI artifacts are never misread as calibrated speedups. A bench
+that stops printing its ``peak_rss_kb:`` line fails the script loudly.
 
 Fails loudly: a missing, crashing, or check-failing bench exits non-zero
 *without* writing the output file — a partial artifact is worse than none.
@@ -42,8 +43,10 @@ incremental ε-Nash certificate under churn vs per-event re-auditing) and
 writes ``BENCH_churn.json``: the small-n corpus with bit-identical
 checkpoint audits, the committed no-delta-heavy acceptance trace when
 ``--churn-trace-n`` is nonzero (>= 512 asserts the 5x solver-invocation
-saving), and the closed-form join-only star smoke when
-``--churn-large-n`` is nonzero.
+saving), the closed-form join-only star smoke when ``--churn-large-n`` is
+nonzero, and the telemetry-overhead measurement (the same trace with the
+metric registry enabled vs disabled; ``obs_overhead_pct`` is recorded in
+the payload and must be present).
 
 Usage:
     python3 scripts/run_bench.py [--build-dir build] [--output BENCH_delta_eval.json]
@@ -110,6 +113,21 @@ def host_metadata(build_dir):
     except (OSError, subprocess.CalledProcessError):
         meta["git_sha"] = "unknown"
     return meta
+
+
+def parse_peak_rss_kb(text, bench_name):
+    """Extract the ``peak_rss_kb: N`` line every bench prints; fail loudly.
+
+    Memory ceilings belong in every BENCH_*.json next to wall time — a bench
+    binary that stopped reporting RSS is a harness regression, not a value
+    to silently default.
+    """
+    for line in text.splitlines():
+        if line.startswith("peak_rss_kb:"):
+            return int(line.split(":", 1)[1].strip())
+    print(f"error: {bench_name} output has no peak_rss_kb line:", file=sys.stderr)
+    print(text, file=sys.stderr)
+    sys.exit(2)
 
 
 def parse_csv_table(text, leading_column):
@@ -223,9 +241,11 @@ def main():
 
     run_binary(build / "bench_best_response", ["--seed", str(args.seed)])
 
+    delta_host = host_metadata(build)
+    delta_host["peak_rss_kb"] = parse_peak_rss_kb(delta_out, "bench_delta_eval")
     payload = {
         "bench": "delta_eval",
-        "host": host_metadata(build),
+        "host": delta_host,
         "config": {
             "min_n": args.min_n,
             "max_n": args.max_n,
@@ -275,9 +295,11 @@ def main():
             print("error: no CSV rows parsed from bench_solver output:", file=sys.stderr)
             print(solver_out, file=sys.stderr)
             sys.exit(2)
+        solver_host = host_metadata(build)
+        solver_host["peak_rss_kb"] = parse_peak_rss_kb(solver_out, "bench_solver")
         solver_payload = {
             "bench": "solver",
-            "host": host_metadata(build),
+            "host": solver_host,
             "config": {
                 "min_n": args.solver_min_n,
                 "max_n": args.solver_max_n,
@@ -334,9 +356,11 @@ def main():
             print("error: no CSV rows parsed from bench_csr output:", file=sys.stderr)
             print(csr_out, file=sys.stderr)
             sys.exit(2)
+        csr_host = host_metadata(build)
+        csr_host["peak_rss_kb"] = parse_peak_rss_kb(csr_out, "bench_csr")
         csr_payload = {
             "bench": "csr",
-            "host": host_metadata(build),
+            "host": csr_host,
             "config": {
                 "min_n": args.min_n,
                 "max_n": args.max_n,
@@ -413,9 +437,11 @@ def main():
             print("error: no CSV rows parsed from bench_multi_bfs output:", file=sys.stderr)
             print(multi_out, file=sys.stderr)
             sys.exit(2)
+        multi_host = host_metadata(build)
+        multi_host["peak_rss_kb"] = parse_peak_rss_kb(multi_out, "bench_multi_bfs")
         multi_payload = {
             "bench": "multi_bfs",
-            "host": host_metadata(build),
+            "host": multi_host,
             "config": {
                 "min_n": args.min_n,
                 "max_n": args.max_n,
@@ -504,13 +530,37 @@ def main():
                     "identical": int(record["identical"]),
                 }
             )
+        obs_rows = []
+        for record in parse_csv_table(churn_out, "obs"):
+            obs_rows.append(
+                {
+                    "obs": record["obs"],
+                    "n": int(record["n"]),
+                    "events": int(record["events"]),
+                    "searches": int(record["searches"]),
+                    "apply_ms": float(record["apply_ms"]),
+                    "overhead_pct": float(record["overhead_pct"]),
+                }
+            )
         if not churn_rows and not trace_rows and not large_churn_rows:
             print("error: no CSV rows parsed from bench_churn output:", file=sys.stderr)
             print(churn_out, file=sys.stderr)
             sys.exit(2)
+        # The telemetry-overhead claim is tracked per PR; a bench_churn that
+        # stopped printing it is a harness regression.
+        obs_overhead_pct = None
+        for line in churn_out.splitlines():
+            if line.startswith("obs_overhead_pct:"):
+                obs_overhead_pct = float(line.split(":", 1)[1].strip())
+        if obs_overhead_pct is None:
+            print("error: bench_churn output has no obs_overhead_pct line:", file=sys.stderr)
+            print(churn_out, file=sys.stderr)
+            sys.exit(2)
+        churn_host = host_metadata(build)
+        churn_host["peak_rss_kb"] = parse_peak_rss_kb(churn_out, "bench_churn")
         churn_payload = {
             "bench": "churn",
-            "host": host_metadata(build),
+            "host": churn_host,
             "config": {
                 "min_n": args.churn_min_n,
                 "max_n": args.churn_max_n,
@@ -518,9 +568,11 @@ def main():
                 "trace_n": args.churn_trace_n,
                 "large_n": args.churn_large_n,
             },
+            "obs_overhead_pct": obs_overhead_pct,
             "rows": churn_rows,
             "trace_rows": trace_rows,
             "large_n_rows": large_churn_rows,
+            "obs_rows": obs_rows,
         }
         pathlib.Path(args.churn_output).write_text(
             json.dumps(churn_payload, indent=2) + "\n"
@@ -532,6 +584,7 @@ def main():
         if trace_rows:
             best = max(r["saving"] for r in trace_rows)
             print(f"churn solver-invocation saving: {best:.2f}x")
+        print(f"churn telemetry overhead: {obs_overhead_pct:.2f}%")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@
 #include "engine/jobgraph.hpp"
 #include "engine/sinks.hpp"
 #include "engine/tasks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -31,6 +33,24 @@ namespace {
 
 [[noreturn]] void runner_error(const std::string& what) {
   throw std::invalid_argument("runner: " + what);
+}
+
+/// Cumulative cross-task work totals for the progress line: terminal solver
+/// invocations across the registry backends, and batched-BFS row scans.
+/// Totals merge every thread's shard, so they move as workers compute, not
+/// just at commit. Zero when the obs layer is compiled out or disabled.
+std::uint64_t progress_solver_searches() {
+  if (!obs::kCompiledIn || !obs::enabled()) return 0;
+  static const obs::CounterId kExact = obs::register_counter("solver.exact_bb.solves");
+  static const obs::CounterId kSwap = obs::register_counter("solver.swap.solves");
+  static const obs::CounterId kPortfolio = obs::register_counter("solver.portfolio.solves");
+  return obs::total(kExact) + obs::total(kSwap) + obs::total(kPortfolio);
+}
+
+std::uint64_t progress_row_scans() {
+  if (!obs::kCompiledIn || !obs::enabled()) return 0;
+  static const obs::CounterId kRowScans = obs::register_counter("bfs.multi.row_scans");
+  return obs::total(kRowScans);
 }
 
 struct Manifest {
@@ -133,29 +153,43 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
       std::snprintf(buffer, sizeof(buffer), "%.1fs", static_cast<double>(remaining) / rate);
       eta = buffer;
     }
-    std::fprintf(stderr, "progress: %llu/%llu jobs (%.1f%%), %.1fs elapsed, eta %s\n",
+    // The cumulative work counters ride BEFORE the eta so the line still
+    // ends in the eta value (test_engine_runner pins numeric lines ending
+    // in 's'). stderr only: the artifact stays byte-clean regardless.
+    std::fprintf(stderr,
+                 "progress: %llu/%llu jobs (%.1f%%), %.1fs elapsed, searches %llu, "
+                 "row_scans %llu, eta %s\n",
                  static_cast<unsigned long long>(computed),
                  static_cast<unsigned long long>(report.total_jobs),
                  100.0 * static_cast<double>(computed) /
                      static_cast<double>(std::max<std::uint64_t>(1, report.total_jobs)),
-                 elapsed, eta.c_str());
+                 elapsed,
+                 static_cast<unsigned long long>(progress_solver_searches()),
+                 static_cast<unsigned long long>(progress_row_scans()), eta.c_str());
   };
 
+  const JobOptions job_options{config.obs && campaign.obs};
   bool halted = false;
   while (report.committed < report.total_jobs && !halted) {
     const std::uint64_t begin = report.committed;
     // min() before the addition so a huge window cannot overflow begin+window.
     const std::uint64_t end = begin + std::min(window, report.total_jobs - begin);
+    obs::TraceSpan window_span("runner.window");
+    window_span.arg("begin", begin);
+    window_span.arg("end", end);
     std::vector<std::string> lines(end - begin);
     std::atomic<std::uint64_t> window_done{0};
     pool.run_chunked(end - begin, 1, [&](std::uint64_t lo, std::uint64_t hi) {
       for (std::uint64_t i = lo; i < hi; ++i) {
-        lines[i] = run_job_line(campaign, jobs[begin + i]);
+        lines[i] = run_job_line(campaign, jobs[begin + i], job_options);
         maybe_report_progress(begin + window_done.fetch_add(1, std::memory_order_relaxed) + 1,
                               begin);
       }
     });
     report.executed += end - begin;
+    obs::TraceSpan commit_span("runner.commit");
+    commit_span.arg("begin", begin);
+    commit_span.arg("end", end);
     for (const std::string& line : lines) {
       out << line << '\n';
       if (!out) runner_error("failed writing " + config.output_path);
@@ -178,6 +212,8 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
     if (config.write_summary) {
       if (!out.flush()) runner_error("failed flushing " + config.output_path);
       out.close();
+      obs::TraceSpan summary_span("runner.summary");
+      summary_span.arg("artifact", config.output_path);
       write_summary_file(config.output_path, summary_path_for(config.output_path));
     }
     checkpoint(true);

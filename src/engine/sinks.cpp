@@ -102,6 +102,15 @@ struct ScenarioAccumulator {
           key == "version") {
         continue;
       }
+      if (key == "obs" && value.is_object()) {
+        // Flatten the per-job counter block into dotted numeric fields so
+        // the summary aggregates work counters exactly like any other
+        // per-job measurement ("obs.solver.exact_bb.nodes" and friends).
+        for (const auto& [counter, count] : value.members()) {
+          slot(numbers, "obs." + counter, std::vector<double>{}).push_back(count.as_double());
+        }
+        continue;
+      }
       if (value.is_bool()) {
         slot(bool_true_counts, key, std::uint64_t{0}) += value.as_bool() ? 1 : 0;
       } else if (value.is_number()) {

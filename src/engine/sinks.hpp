@@ -10,7 +10,9 @@
 // percentile bootstrap up to 10k samples (byte-stable via a fixed seed) and
 // the O(count) normal approximation beyond, so summaries never stall a
 // million-record campaign. Also true-counts of every boolean field and
-// value-counts of every string field. The summary is recomputed from the committed JSONL at
+// value-counts of every string field. Per-job `obs` counter blocks are
+// flattened into dotted numeric fields ("obs.solver.exact_bb.nodes", …) so
+// work counters summarise like any other measurement. The summary is recomputed from the committed JSONL at
 // campaign completion, so an interrupted-and-resumed run summarises exactly
 // what an uninterrupted one would.
 #pragma once

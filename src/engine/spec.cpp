@@ -334,9 +334,11 @@ ScenarioSpec parse_scenario(const JsonValue& object, const std::string& fallback
   if (scenario.name.empty()) spec_error("scenario", "missing required key \"name\"");
   const std::string where = "scenario \"" + scenario.name + "\"";
 
+  // "obs" is consumed at the campaign level (parse_campaign_spec); it is
+  // listed here only so the single-scenario form accepts it at top level.
   reject_unknown_keys(object,
-                      {"name", "base_seed", "task", "version", "generator", "budgets", "grid",
-                       "seeds", "params"},
+                      {"name", "base_seed", "obs", "task", "version", "generator", "budgets",
+                       "grid", "seeds", "params"},
                       where);
 
   scenario.task = parse_task(require_key(object, "task", where).as_string(), where);
@@ -453,10 +455,13 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
   if (const JsonValue* base_seed = root.find("base_seed"); base_seed != nullptr) {
     campaign.base_seed = base_seed->as_uint();
   }
+  if (const JsonValue* obs = root.find("obs"); obs != nullptr) {
+    campaign.obs = obs->as_bool();
+  }
 
   const JsonValue* scenarios = root.find("scenarios");
   if (scenarios != nullptr) {
-    reject_unknown_keys(root, {"name", "base_seed", "scenarios"}, "campaign");
+    reject_unknown_keys(root, {"name", "base_seed", "obs", "scenarios"}, "campaign");
     if (!scenarios->is_array() || scenarios->items().empty()) {
       spec_error("campaign", "scenarios must be a non-empty array");
     }
@@ -465,6 +470,9 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
       if (item.find("name") == nullptr) spec_error("scenario", "missing required key \"name\"");
       if (item.find("base_seed") != nullptr) {
         spec_error("campaign", "base_seed belongs at the campaign level, not in a scenario");
+      }
+      if (item.find("obs") != nullptr) {
+        spec_error("campaign", "obs belongs at the campaign level, not in a scenario");
       }
       campaign.scenarios.push_back(parse_scenario(item, ""));
     }

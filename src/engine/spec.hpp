@@ -118,6 +118,11 @@ struct ScenarioSpec {
 struct CampaignSpec {
   std::string name;
   std::uint64_t base_seed = 1;
+  /// Embed per-job `obs` counter blocks in the artifact (top-level "obs"
+  /// key, default true). False reproduces pre-observability bytes exactly;
+  /// the CLI's --no-obs overrides true at run time without touching the
+  /// spec (and hence the fingerprint).
+  bool obs = true;
   std::vector<ScenarioSpec> scenarios;
 
   [[nodiscard]] std::uint64_t num_jobs() const noexcept;

@@ -12,6 +12,10 @@
 #include "game/equilibrium.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -65,7 +69,7 @@ DynamicsConfig dynamics_config(const ScenarioSpec& scenario, Rng& rng) {
   return config;
 }
 
-void emit_dynamics(JsonWriter& writer, const DynamicsResult& result) {
+void emit_dynamics(JsonWriter& writer, const DynamicsResult& result, ThreadPool* pool) {
   const UGraph underlying = result.graph.underlying();
   writer.field("converged", result.converged)
       .field("cycle_detected", result.cycle_detected)
@@ -75,22 +79,22 @@ void emit_dynamics(JsonWriter& writer, const DynamicsResult& result) {
       .field("evaluations", result.evaluations)
       .field("bfs_avoided", result.bfs_avoided)
       .field("connected", is_connected(underlying))
-      .field("social_cost", social_cost(underlying));
+      .field("social_cost", social_cost(underlying, pool));
 }
 
 void run_dynamics(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
-                  Rng& rng) {
+                  Rng& rng, ThreadPool* pool) {
   const DynamicsResult result =
-      run_best_response_dynamics(initial, dynamics_config(scenario, rng));
-  emit_dynamics(writer, result);
+      run_best_response_dynamics(initial, dynamics_config(scenario, rng), pool);
+  emit_dynamics(writer, result, pool);
 }
 
 void run_poa(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
-             Rng& rng) {
+             Rng& rng, ThreadPool* pool) {
   const DynamicsResult result =
-      run_best_response_dynamics(initial, dynamics_config(scenario, rng));
+      run_best_response_dynamics(initial, dynamics_config(scenario, rng), pool);
   const BudgetGame game(result.graph.budgets());
-  const PoaEstimate estimate = poa_estimate(game, result.graph);
+  const PoaEstimate estimate = poa_estimate(game, result.graph, pool);
   writer.field("converged", result.converged)
       .field("equilibrium_diameter", estimate.equilibrium_diameter)
       .field("opt_lower", estimate.opt.lower)
@@ -100,9 +104,11 @@ void run_poa(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& in
 }
 
 void run_swap_equilibrium(JsonWriter& writer, const ScenarioSpec& scenario,
-                          const Digraph& initial) {
+                          const Digraph& initial, ThreadPool* pool) {
+  // A width-1 pool takes the same sequential scan (and the same
+  // strategies_checked early-exit order) the old nullptr argument took.
   const EquilibriumReport report =
-      verify_swap_equilibrium(initial, scenario.version, /*pool=*/nullptr,
+      verify_swap_equilibrium(initial, scenario.version, pool,
                               scenario.params.incremental, scenario.params.graph_core);
   writer.field("stable", report.stable)
       .field("strategies_checked", report.strategies_checked)
@@ -117,7 +123,8 @@ void run_swap_equilibrium(JsonWriter& writer, const ScenarioSpec& scenario,
   }
 }
 
-void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial) {
+void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
+                    ThreadPool* pool) {
   SolverBudget budget;
   // A default node cap keeps a fat-budget job from hanging a campaign; the
   // record then honestly reports certified=false instead.
@@ -128,7 +135,19 @@ void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digr
   budget.core = scenario.params.graph_core;
   const std::string solver = scenario.params.solver.empty() ? default_solver(scenario.task)
                                                             : scenario.params.solver;
-  const NashReport report = verify_nash_equilibrium(initial, scenario.version, budget, solver);
+  // Dedup guard: the registry counters this audit publishes must agree bit
+  // for bit with the legacy report fields they mirror (the struct stays the
+  // source of truth; the registry is a view). The audit's MultiBfs prepass
+  // is the only bfs.multi publisher on this path.
+  [[maybe_unused]] const obs::CounterFrame agreement;
+  const NashReport report =
+      verify_nash_equilibrium(initial, scenario.version, budget, solver, pool);
+  BBNG_ASSERT(!obs::enabled() ||
+              agreement.value("bfs.multi.row_scans") == report.prepass_row_scans);
+  BBNG_ASSERT(!obs::enabled() ||
+              agreement.value("bfs.multi.sweeps") == report.prepass_sweeps);
+  BBNG_ASSERT(!obs::enabled() ||
+              agreement.value("audit.nash.players_certified") == report.players_certified);
   writer.field("solver", solver)
       .field("stable", report.stable)
       .field("certified", report.certified)
@@ -149,7 +168,7 @@ void run_nash_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digr
 }
 
 void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
-               Rng& rng) {
+               Rng& rng, ThreadPool* pool) {
   ChurnConfig config;
   config.version = scenario.version;
   config.mode = scenario.params.churn_mode;
@@ -164,7 +183,10 @@ void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& 
   config.budget.incremental = scenario.params.incremental;
   config.budget.core = scenario.params.graph_core;
 
-  ChurnEngine engine(initial, initial.budgets(), config);
+  // Dedup guard: churn.* registry counters are flushed from ChurnStats at
+  // every event boundary and must agree with the struct bit for bit.
+  [[maybe_unused]] const obs::CounterFrame agreement;
+  ChurnEngine engine(initial, initial.budgets(), config, pool);
   ChurnTraceSampler sampler(scenario.params.churn_weights, scenario.params.churn_max_budget,
                             /*seed=*/rng());
 
@@ -193,6 +215,12 @@ void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& 
   if (every > 0 && (applied % every != 0 || applied == 0)) checkpoint();
 
   const ChurnStats& stats = engine.stats();
+  BBNG_ASSERT(!obs::enabled() ||
+              agreement.value("churn.solver_searches") == stats.solver_searches);
+  BBNG_ASSERT(!obs::enabled() || agreement.value("churn.events") == stats.events);
+  BBNG_ASSERT(!obs::enabled() ||
+              agreement.value("churn.solves_skipped") ==
+                  stats.skips_trivial + stats.skips_locality + stats.skips_clean);
   const UGraph underlying = engine.graph().underlying();
   writer.field("solver", config.solver)
       .field("mode", to_string(config.mode))
@@ -217,7 +245,7 @@ void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& 
       .field("certified", engine.certified())
       .field("epsilon", engine.epsilon())
       .field("connected", is_connected(underlying))
-      .field("social_cost", social_cost(underlying));
+      .field("social_cost", social_cost(underlying, pool));
   writer.key("deviator");
   if (engine.stable()) {
     writer.null();
@@ -226,13 +254,14 @@ void run_churn(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& 
   }
 }
 
-void run_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial) {
+void run_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& initial,
+               ThreadPool* pool) {
   AuditOptions options;
   options.version = scenario.version;
   options.exact_limit = scenario.params.exact_limit;
   options.swap_limit = scenario.params.swap_limit;
   options.compute_connectivity = scenario.params.compute_connectivity;
-  const StateAudit audit = audit_state(initial, options);
+  const StateAudit audit = audit_state(initial, options, pool);
   writer.field("connected", audit.connected)
       .field("social_cost", audit.social_cost)
       .field("brace_count", audit.brace_count)
@@ -245,11 +274,32 @@ void run_audit(JsonWriter& writer, const ScenarioSpec& scenario, const Digraph& 
 
 }  // namespace
 
-std::string run_job_line(const CampaignSpec& campaign, const Job& job) {
+std::string run_job_line(const CampaignSpec& campaign, const Job& job,
+                         const JobOptions& options) {
   BBNG_REQUIRE(job.scenario_index < campaign.scenarios.size());
   const ScenarioSpec& scenario = campaign.scenarios[job.scenario_index];
+
+  obs::TraceSpan span("job");
+  span.arg("job", job.id);
+  span.arg("task", to_string(scenario.task));
+  span.arg("scenario", scenario.name);
+
   Rng rng(job.rng_seed);
   const Digraph initial = make_initial(scenario, job.n, job.density, rng);
+
+  // Width-1 pool: run_chunked executes inline on this thread (no workers are
+  // spawned), so every registry increment the job causes lands on THIS
+  // thread's shard — the invariant that makes the frame below a pure
+  // function of the job. The shared pool must never be reached from inside
+  // a job: its workers would siphon counts onto foreign shards depending on
+  // scheduling.
+  ThreadPool serial(1);
+
+  // The frame must be captured after generation (generators count nothing
+  // today, but the block's meaning — "work of the measured task" — should
+  // not silently widen if that changes) and before the task runs.
+  const bool with_obs = options.obs && obs::kCompiledIn && obs::enabled();
+  const obs::CounterFrame frame;
 
   std::ostringstream os;
   JsonWriter writer(os, /*pretty=*/false);
@@ -262,12 +312,24 @@ std::string run_job_line(const CampaignSpec& campaign, const Job& job) {
       .field("density", job.density)
       .field("seed", job.seed);
   switch (scenario.task) {
-    case TaskKind::Dynamics: run_dynamics(writer, scenario, initial, rng); break;
-    case TaskKind::Poa: run_poa(writer, scenario, initial, rng); break;
-    case TaskKind::SwapEquilibrium: run_swap_equilibrium(writer, scenario, initial); break;
-    case TaskKind::Audit: run_audit(writer, scenario, initial); break;
-    case TaskKind::NashAudit: run_nash_audit(writer, scenario, initial); break;
-    case TaskKind::Churn: run_churn(writer, scenario, initial, rng); break;
+    case TaskKind::Dynamics: run_dynamics(writer, scenario, initial, rng, &serial); break;
+    case TaskKind::Poa: run_poa(writer, scenario, initial, rng, &serial); break;
+    case TaskKind::SwapEquilibrium:
+      run_swap_equilibrium(writer, scenario, initial, &serial);
+      break;
+    case TaskKind::Audit: run_audit(writer, scenario, initial, &serial); break;
+    case TaskKind::NashAudit: run_nash_audit(writer, scenario, initial, &serial); break;
+    case TaskKind::Churn: run_churn(writer, scenario, initial, rng, &serial); break;
+  }
+  if (with_obs) {
+    // LAST member by contract: stripping the ,"obs":{...} suffix of a record
+    // recovers the --no-obs bytes exactly (pinned by tests/test_obs.cpp).
+    writer.key("obs");
+    writer.begin_object();
+    for (const obs::CounterValue& delta : frame.deltas()) {
+      writer.field(delta.name, delta.value);
+    }
+    writer.end_object();
   }
   writer.end_object();
   BBNG_ASSERT(writer.complete());

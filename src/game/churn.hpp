@@ -189,6 +189,11 @@ class ChurnEngine {
   void settle(DeltaKind delta);
   void refresh_all(DeltaKind delta);
   void accumulate_baseline();
+  /// Publish stats_ − flushed_ (field-wise, prepass excluded — MultiBfs
+  /// publishes its own batches) to the registry as `churn.*`, then advance
+  /// flushed_. Runs at construction and after every apply(), so the legacy
+  /// struct and the registry agree bit for bit at every event boundary.
+  void publish_stats();
 
   Digraph graph_;
   std::vector<std::uint32_t> caps_;
@@ -207,6 +212,7 @@ class ChurnEngine {
   /// longer matches stamp_[player] are popped as stale.
   std::priority_queue<std::tuple<std::uint64_t, Vertex, std::uint64_t>> heap_;
   ChurnStats stats_;
+  ChurnStats flushed_;  ///< prefix of stats_ already published to the registry
 };
 
 /// Weighted sampler of feasible churn events against the engine's live

@@ -8,10 +8,43 @@
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/multi_bfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "solver/registry.hpp"
 
 namespace bbng {
+
+namespace {
+
+/// Registry mirror of one completed Nash audit, field-wise from the report
+/// the caller receives (per-solver work is already published by the
+/// backends; these are the audit-level skip/certify outcomes).
+void publish_nash_audit(const NashReport& report) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId kAudits = obs::register_counter("audit.nash.audits");
+  static const obs::CounterId kSkipped = obs::register_counter("audit.nash.players_skipped");
+  static const obs::CounterId kCertified =
+      obs::register_counter("audit.nash.players_certified");
+  obs::add(kAudits, 1);
+  obs::add(kSkipped, report.players_skipped);
+  obs::add(kCertified, report.players_certified);
+}
+
+/// Registry mirror of one completed swap-stability sweep (any of its three
+/// execution paths), field-wise from the report the caller receives.
+void publish_swap_audit(const EquilibriumReport& report) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId kAudits = obs::register_counter("eq.swap.audits");
+  static const obs::CounterId kChecked =
+      obs::register_counter("eq.swap.strategies_checked");
+  static const obs::CounterId kBfsAvoided = obs::register_counter("eq.swap.bfs_avoided");
+  obs::add(kAudits, 1);
+  obs::add(kChecked, report.strategies_checked);
+  obs::add(kBfsAvoided, report.bfs_avoided);
+}
+
+}  // namespace
 
 EquilibriumReport verify_equilibrium(const Digraph& g, CostVersion version,
                                      std::uint64_t exact_limit, ThreadPool* pool) {
@@ -71,6 +104,9 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
   const BestResponseBackend& backend = find_solver(solver);
   const std::uint32_t n = g.num_vertices();
   if (budget_caps != nullptr) BBNG_REQUIRE(budget_caps->size() == n);
+  obs::TraceSpan span("audit.nash");
+  span.arg("solver", solver);
+  span.arg("players", std::uint64_t{n});
   NashReport report;
   report.stable = true;
   report.certified = true;
@@ -131,12 +167,15 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
       report.epsilon = std::max(report.epsilon, regret);
     }
   }
+  publish_nash_audit(report);
   return report;
 }
 
 EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
                                           ThreadPool* pool, bool incremental, GraphCore core) {
   const std::uint32_t n = g.num_vertices();
+  obs::TraceSpan trace_span("audit.swap");
+  trace_span.arg("players", std::uint64_t{n});
   EquilibriumReport report;
 
   if (!incremental) {
@@ -164,12 +203,14 @@ EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
             report.improving_strategy = trial;
             report.old_cost = base_cost;
             report.new_cost = cost;
+            publish_swap_audit(report);
             return report;
           }
         }
       }
     }
     report.stable = true;
+    publish_swap_audit(report);
     return report;
   }
 
@@ -187,10 +228,12 @@ EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
         report.improving_strategy = std::move(scan.strategy);
         report.old_cost = scan.old_cost;
         report.new_cost = scan.new_cost;
+        publish_swap_audit(report);
         return report;
       }
     }
     report.stable = true;
+    publish_swap_audit(report);
     return report;
   }
 
@@ -225,9 +268,11 @@ EquilibriumReport verify_swap_equilibrium(const Digraph& g, CostVersion version,
     report.improving_strategy = std::move(best_scan.strategy);
     report.old_cost = best_scan.old_cost;
     report.new_cost = best_scan.new_cost;
+    publish_swap_audit(report);
     return report;
   }
   report.stable = true;
+  publish_swap_audit(report);
   return report;
 }
 

@@ -43,9 +43,21 @@
 #include "graph/bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/ugraph.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/workspace.hpp"
 
 namespace bbng {
+
+namespace detail {
+/// Registry mirror of full_rebuilds_: deletions whose repair region crossed
+/// the threshold and fell back to a from-scratch BFS. A pure function of the
+/// operation sequence (kJob), like the per-instance counter it shadows.
+inline void note_dynamic_bfs_recompute() {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId id = obs::register_counter("bfs.dynamic.recomputes");
+  obs::add(id, 1);
+}
+}  // namespace detail
 
 template <class GraphT>
 class DynamicBfsT {
@@ -158,6 +170,7 @@ class DynamicBfsT {
         touched_ += affected.size();
         affected.clear();
         ++full_rebuilds_;
+        detail::note_dynamic_bfs_recompute();
         rebuild();
         return;
       }

@@ -40,6 +40,7 @@
 #include "graph/bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/ugraph.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/workspace.hpp"
 #include "util/assert.hpp"
@@ -65,6 +66,15 @@ struct MultiBfsStats {
   }
 };
 
+namespace detail {
+/// Publish one batch's work (now − before, field-wise) to the metrics
+/// registry as `bfs.multi.*`. The struct stays the hot-loop accumulator;
+/// the registry receives the identical sums at batch granularity, so the
+/// legacy fields and the registry counters agree bit for bit (asserted by
+/// the engine task adapters and tests/test_obs.cpp).
+void publish_multi_bfs(const MultiBfsStats& now, const MultiBfsStats& before);
+}  // namespace detail
+
 /// The batched engine bound to one graph and one Workspace arena. Holds no
 /// per-batch state beyond the arena, so one instance can run any number of
 /// batches; stats() accumulates across them.
@@ -89,6 +99,7 @@ class MultiBfsT {
     BBNG_REQUIRE(sources.size() <= kLanes);
     BBNG_REQUIRE(out.size() == sources.size());
     for (const Vertex s : sources) BBNG_REQUIRE(s < n);
+    const MultiBfsStats stats_before = stats_;
     Workspace& ws = *ws_;
     ws.bind_lanes(n);
     std::vector<std::uint64_t>& seen = ws.lane_seen;
@@ -168,6 +179,7 @@ class MultiBfsT {
     // the vertices listed in `active`.
     for (const Vertex v : active) seen[v] = 0;
     active.clear();
+    detail::publish_multi_bfs(stats_, stats_before);
   }
 
   /// Aggregate-only batch.

@@ -1,0 +1,120 @@
+// MetricRegistry — hierarchical dotted-name work counters.
+//
+// Every subsystem that used to keep a private ad-hoc counter struct
+// (MultiBfsStats, ChurnStats, NashReport, the transposition cache, the
+// workspace arenas) also publishes its increments here under a stable
+// dotted name (`bfs.multi.row_scans`, `solver.exact_bb.nodes`,
+// `cache.transposition.hits`, `churn.solves_skipped`, `workspace.grows`),
+// making runtime work queryable from one place: the engine embeds per-job
+// snapshots in campaign artifacts, the progress line and `bbng_engine
+// report` read totals, and CI gates on committed baselines. The discipline
+// follows the SPAA 2021 stepping-algorithms methodology (SNIPPETS.md
+// snippet 2): claims about parallel work are gated on deterministic
+// operation counters, not wall-clock alone.
+//
+// Design:
+//  - Counters are interned once (`register_counter`) into stable ids;
+//    `add(id, delta)` is a wait-free relaxed fetch-add on a thread-local
+//    shard (one cache line touch, no locks), so hot paths may publish at
+//    natural flush points (per batch, per solve, per event) at near-zero
+//    cost. A process-wide runtime kill switch (`set_enabled(false)`) turns
+//    `add` into a single relaxed load.
+//  - `snapshot()` / `total(id)` merge all shards (live and retired) under a
+//    mutex, name-sorted — deterministic because every published counter is
+//    itself an order-independent sum.
+//  - `CounterFrame` captures the *calling thread's* shard and returns the
+//    deltas that thread performed since capture. An engine job runs
+//    single-threaded on one worker, so its frame is a pure function of the
+//    job — the determinism that lets artifacts embed `obs` blocks while
+//    staying byte-identical across thread counts and kill/resume.
+//  - Counters whose value depends on pool/scheduling history rather than
+//    the measured computation (e.g. `workspace.grows`: an arena grown by an
+//    earlier lease never re-grows) register as `CounterScope::kHost` and
+//    are excluded from per-job frames.
+//  - Configuring with -DBBNG_OBS=OFF defines BBNG_OBS_DISABLED and compiles
+//    the whole layer to inline no-ops; the API stays so callers need no
+//    #ifdefs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbng::obs {
+
+#if defined(BBNG_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+using CounterId = std::uint32_t;
+
+/// kJob: a pure function of the computation the counting thread performed —
+/// safe to embed in deterministic artifacts. kHost: depends on scheduling /
+/// pool history; global diagnostics only, excluded from per-job frames.
+enum class CounterScope : std::uint8_t { kJob, kHost };
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+#if !defined(BBNG_OBS_DISABLED)
+
+/// Intern `name`, returning its stable id; re-registering an existing name
+/// returns the same id (the scope must agree). Typical use: a function-local
+/// `static const CounterId` so interning happens once.
+CounterId register_counter(std::string_view name, CounterScope scope = CounterScope::kJob);
+
+/// Add `delta` to the calling thread's shard of counter `id`. Wait-free.
+void add(CounterId id, std::uint64_t delta);
+
+/// Process-wide runtime kill switch (default on). `add` becomes one relaxed
+/// load when off; frames and snapshots then see no fresh increments.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// All registered counters (zeros included) merged across every thread that
+/// ever counted, sorted by name.
+[[nodiscard]] std::vector<CounterValue> snapshot();
+
+/// Merged value of one counter across all threads.
+[[nodiscard]] std::uint64_t total(CounterId id);
+
+/// Captures the calling thread's shard at construction; `deltas()` returns
+/// the per-name increments this thread performed since, restricted to
+/// kJob-scope counters, nonzero entries only, sorted by name.
+class CounterFrame {
+ public:
+  CounterFrame();
+  [[nodiscard]] std::vector<CounterValue> deltas() const;
+  /// This thread's delta for one counter (any scope); 0 when unregistered.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+ private:
+  std::vector<std::uint64_t> baseline_;
+};
+
+#else  // BBNG_OBS_DISABLED — the whole layer is inline no-ops.
+
+inline CounterId register_counter(std::string_view, CounterScope = CounterScope::kJob) {
+  return 0;
+}
+inline void add(CounterId, std::uint64_t) {}
+[[nodiscard]] inline bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+[[nodiscard]] inline std::vector<CounterValue> snapshot() { return {}; }
+[[nodiscard]] inline std::uint64_t total(CounterId) { return 0; }
+
+class CounterFrame {
+ public:
+  CounterFrame() = default;
+  [[nodiscard]] std::vector<CounterValue> deltas() const { return {}; }
+  [[nodiscard]] std::uint64_t value(std::string_view) const { return 0; }
+};
+
+#endif
+
+}  // namespace bbng::obs

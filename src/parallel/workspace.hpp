@@ -25,9 +25,23 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace bbng {
+
+namespace detail {
+/// Registry mirror of the per-arena grows_ counter. kHost scope: whether a
+/// lease grows its arena depends on which pooled workspace it happens to
+/// receive (scheduling history), so the count belongs to global diagnostics,
+/// never to per-job frames.
+inline void note_workspace_grow() {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId id =
+      obs::register_counter("workspace.grows", obs::CounterScope::kHost);
+  obs::add(id, 1);
+}
+}  // namespace detail
 
 class Workspace {
  public:
@@ -40,6 +54,7 @@ class Workspace {
   void bind(std::uint32_t n) {
     if (n <= bound_n_) return;
     ++grows_;
+    detail::note_workspace_grow();
     dist.resize(n);
     parent.resize(n);
     mark.resize(n, 0);  // fresh entries start unmarked; epoch keeps counting
@@ -63,6 +78,7 @@ class Workspace {
   void bind_lanes(std::uint32_t n) {
     if (n <= lanes_bound_n_) return;
     ++grows_;
+    detail::note_workspace_grow();
     lane_seen.assign(n, 0);
     lane_frontier.assign(n, 0);
     lane_next.assign(n, 0);

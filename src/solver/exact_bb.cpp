@@ -5,10 +5,37 @@
 
 #include "game/strategy_eval.hpp"
 #include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace bbng {
 namespace {
+
+/// Publish one terminal solve's work to the registry (solver.exact_bb.*).
+/// Counters are field-wise copies of the SolverResult the caller receives,
+/// so the legacy result fields and the registry agree bit for bit. A cache
+/// hit publishes cache_served instead: its result counters were zeroed (no
+/// fresh search work happened) and the cache itself already counted the hit.
+void publish_exact_bb(const SolverResult& result, bool cache_hit) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId kSolves = obs::register_counter("solver.exact_bb.solves");
+  static const obs::CounterId kServed = obs::register_counter("solver.exact_bb.cache_served");
+  static const obs::CounterId kNodes = obs::register_counter("solver.exact_bb.nodes");
+  static const obs::CounterId kPruned = obs::register_counter("solver.exact_bb.pruned");
+  static const obs::CounterId kEvaluated = obs::register_counter("solver.exact_bb.evaluated");
+  static const obs::CounterId kBfsAvoided =
+      obs::register_counter("solver.exact_bb.bfs_avoided");
+  if (cache_hit) {
+    obs::add(kServed, 1);
+    return;
+  }
+  obs::add(kSolves, 1);
+  obs::add(kNodes, result.nodes_explored);
+  obs::add(kPruned, result.nodes_pruned);
+  obs::add(kEvaluated, result.evaluated);
+  obs::add(kBfsAvoided, result.bfs_avoided);
+}
 
 constexpr std::uint64_t kInfCost = ~0ULL;
 
@@ -381,6 +408,8 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
                                         TranspositionCache* cache) const {
   (void)pool;  // the DFS is sequential; callers parallelise across players
   BBNG_REQUIRE(player < g.num_vertices());
+  obs::TraceSpan span("solve:exact_bb");
+  span.arg("player", std::uint64_t{player});
   const std::uint32_t n = g.num_vertices();
   // The budget cap, which is the out-degree unless a caller (churn) split
   // them. With cap > degree the search simply runs deeper; with cap < degree
@@ -399,6 +428,7 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
     result.lower_bound = result.cost;
     result.optimal = true;
     result.evaluated = 1;
+    publish_exact_bb(result, /*cache_hit=*/false);
     return result;
   }
 
@@ -418,6 +448,7 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
       cached.evaluated = 0;
       cached.bfs_avoided = 0;
       BBNG_ASSERT(!current_feasible || cached.cost <= cached.current_cost);
+      publish_exact_bb(cached, /*cache_hit=*/true);
       return cached;
     }
   }
@@ -465,6 +496,7 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
   BBNG_ASSERT(result.lower_bound <= result.cost);
 
   if (cache != nullptr) cache->store(key, result);
+  publish_exact_bb(result, /*cache_hit=*/false);
   return result;
 }
 

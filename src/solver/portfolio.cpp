@@ -4,11 +4,32 @@
 
 #include "facility/reduction.hpp"
 #include "game/strategy_eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/combinatorics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace bbng {
+
+namespace {
+
+/// Publish one terminal race's work (solver.portfolio.*), field-wise from
+/// the result the caller receives. Like the swap ladder, the capped path
+/// recurses on a normalized copy and returns the inner result verbatim, so
+/// only the inner (terminal) invocation publishes.
+void publish_portfolio(const SolverResult& result) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId kSolves = obs::register_counter("solver.portfolio.solves");
+  static const obs::CounterId kEvaluated = obs::register_counter("solver.portfolio.evaluated");
+  static const obs::CounterId kBfsAvoided =
+      obs::register_counter("solver.portfolio.bfs_avoided");
+  obs::add(kSolves, 1);
+  obs::add(kEvaluated, result.evaluated);
+  obs::add(kBfsAvoided, result.bfs_avoided);
+}
+
+}  // namespace
 
 SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion version,
                                     const SolverBudget& budget, ThreadPool* pool,
@@ -16,6 +37,8 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
   (void)pool;
   (void)cache;
   BBNG_REQUIRE(player < g.num_vertices());
+  obs::TraceSpan span("solve:portfolio");
+  span.arg("player", std::uint64_t{player});
   const std::uint32_t b = effective_budget_cap(g, player, budget);
   if (b != g.out_degree(player)) {
     // Every racer (swap descent, greedy fill, facility seeding) assumes
@@ -85,6 +108,7 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
   // is certified outright.
   result.lower_bound = std::min(trivial_cost_lower_bound(n, version), result.cost);
   result.optimal = binomial(n - 1, b) == 1 || result.cost == result.lower_bound;
+  publish_portfolio(result);
   return result;
 }
 

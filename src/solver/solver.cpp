@@ -3,9 +3,30 @@
 #include <algorithm>
 
 #include "game/strategy_eval.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace bbng {
+
+namespace {
+
+// Registry mirrors of the cache's own hits_/misses_/flushes_ — the struct
+// fields stay the per-instance source of truth; the registry accumulates
+// the identical increments process-wide under cache.transposition.*.
+obs::CounterId cache_hits_id() {
+  static const obs::CounterId id = obs::register_counter("cache.transposition.hits");
+  return id;
+}
+obs::CounterId cache_misses_id() {
+  static const obs::CounterId id = obs::register_counter("cache.transposition.misses");
+  return id;
+}
+obs::CounterId cache_flushes_id() {
+  static const obs::CounterId id = obs::register_counter("cache.transposition.flushes");
+  return id;
+}
+
+}  // namespace
 
 std::uint64_t trivial_cost_lower_bound(std::uint32_t n, CostVersion version) {
   if (n < 2) return 0;
@@ -110,11 +131,13 @@ const SolverResult* TranspositionCache::find(const std::string& key) const {
     for (const auto& [stored_key, result] : bucket->second) {
       if (stored_key == key) {
         ++hits_;
+        obs::add(cache_hits_id(), 1);
         return &result;
       }
     }
   }
   ++misses_;
+  obs::add(cache_misses_id(), 1);
   return nullptr;
 }
 
@@ -127,6 +150,7 @@ void TranspositionCache::store(const std::string& key, const SolverResult& resul
     map_.clear();
     entries_ = 0;
     ++flushes_;
+    obs::add(cache_flushes_id(), 1);
   }
   auto& bucket = map_[fnv1a64(key)];
   for (const auto& [stored_key, existing] : bucket) {

@@ -3,13 +3,35 @@
 #include <algorithm>
 
 #include "game/strategy_eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bbng {
+
+namespace {
+
+/// Publish one terminal solve's work (solver.swap.*), field-wise from the
+/// result the caller receives. The capped path recurses on a normalized
+/// copy and returns the inner result verbatim, so only the inner (terminal)
+/// invocation publishes — one query, one publish.
+void publish_swap(const SolverResult& result) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  static const obs::CounterId kSolves = obs::register_counter("solver.swap.solves");
+  static const obs::CounterId kEvaluated = obs::register_counter("solver.swap.evaluated");
+  static const obs::CounterId kBfsAvoided = obs::register_counter("solver.swap.bfs_avoided");
+  obs::add(kSolves, 1);
+  obs::add(kEvaluated, result.evaluated);
+  obs::add(kBfsAvoided, result.bfs_avoided);
+}
+
+}  // namespace
 
 SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersion version,
                                      const SolverBudget& budget, ThreadPool* pool,
                                      TranspositionCache* cache) const {
   (void)cache;
+  obs::TraceSpan span("solve:swap_ladder");
+  span.arg("player", std::uint64_t{player});
   const std::uint32_t cap = effective_budget_cap(g, player, budget);
   if (cap != g.out_degree(player)) {
     // The ladder's move set (exact enumeration at the current degree, greedy
@@ -41,6 +63,7 @@ SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersio
     result.bfs_avoided = br.bfs_avoided;
     result.optimal = true;
     result.lower_bound = br.cost;
+    publish_swap(result);
     return result;
   }
 
@@ -63,6 +86,7 @@ SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersio
   result.current_cost = refined.current_cost;
   result.optimal = false;
   result.lower_bound = trivial_cost_lower_bound(g.num_vertices(), version);
+  publish_swap(result);
   return result;
 }
 

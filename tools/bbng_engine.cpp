@@ -3,35 +3,47 @@
 //   bbng_engine validate   --spec examples/specs/tree_sum.json
 //   bbng_engine run        --spec ... --output campaign.jsonl [--threads 0]
 //   bbng_engine resume     --spec ... --output campaign.jsonl
+//   bbng_engine report     --artifact campaign.jsonl [--csv]
 //   bbng_engine list-tasks
 //   bbng_engine list-solvers
 //
 // `run` executes a declarative campaign sharded across a thread pool and
 // streams one JSON record per game instance into the output JSONL (header
 // line first, then jobs in id order), checkpointing a manifest alongside.
-// While running it reports progress (jobs done/total, ETA) to stderr so
-// long campaigns are not silent; `--quiet` suppresses that (stdout and the
-// artifact are byte-clean either way). `resume` continues an interrupted
-// campaign from its manifest; the completed artifact is byte-identical to
-// an uninterrupted run at any thread count. `--halt-after N` simulates a
-// kill after N committed jobs (used by CI to exercise the resume path).
+// While running it reports progress (jobs done/total, ETA, cumulative
+// solver searches and BFS row scans) to stderr so long campaigns are not
+// silent; `--quiet` suppresses that (stdout and the artifact are byte-clean
+// either way). `resume` continues an interrupted campaign from its
+// manifest; the completed artifact is byte-identical to an uninterrupted
+// run at any thread count. `--halt-after N` simulates a kill after N
+// committed jobs (used by CI to exercise the resume path). `--trace <file>`
+// writes a Perfetto-loadable Chrome-trace of the run; `--no-obs` drops the
+// per-job `obs` counter blocks, reproducing pre-observability artifact
+// bytes. `report` re-reads a finished artifact and prints per-scenario
+// per-counter work breakdowns from those blocks.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "engine/runner.hpp"
+#include "engine/sinks.hpp"
 #include "engine/spec.hpp"
 #include "engine/tasks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/registry.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 int usage(int code) {
   std::fputs(
-      "usage: bbng_engine <run|resume|validate|list-tasks|list-solvers> [options]\n"
+      "usage: bbng_engine <run|resume|report|validate|list-tasks|list-solvers> [options]\n"
       "  run          execute a campaign spec into a JSONL artifact\n"
       "  resume       continue an interrupted campaign from its checkpoint\n"
+      "  report       per-scenario counter breakdown of an artifact's obs blocks\n"
       "  validate     parse + validate a spec, print the job budget\n"
       "  list-tasks   describe the available task kinds\n"
       "  list-solvers describe the registered best-response solver backends\n"
@@ -83,6 +95,10 @@ int run_or_resume(bool resume, int argc, const char** argv) {
   const auto force = cli.add_flag("force", "overwrite an existing artifact (run only)");
   const auto no_summary = cli.add_flag("no-summary", "skip the .summary.json aggregation");
   const auto quiet = cli.add_flag("quiet", "suppress the periodic progress lines on stderr");
+  const auto no_obs = cli.add_flag(
+      "no-obs", "drop per-job obs counter blocks (pre-observability artifact bytes)");
+  const auto trace_path = cli.add_string(
+      "trace", "", "write a Perfetto-loadable Chrome-trace of the run to this file");
   cli.parse(argc, argv);
 
   if (spec_path->empty() || output->empty()) {
@@ -110,11 +126,116 @@ int run_or_resume(bool resume, int argc, const char** argv) {
   config.overwrite = *force;
   config.write_summary = !*no_summary;
   config.progress = !*quiet;
+  config.obs = !*no_obs;
+  // --no-obs also flips the runtime registry switch so library hot paths
+  // pay only a relaxed load, not just the record suffix being dropped.
+  if (*no_obs) bbng::obs::set_enabled(false);
+  if (!trace_path->empty()) {
+    if (!bbng::obs::kCompiledIn) {
+      std::cerr << "note: built with BBNG_OBS=OFF; " << *trace_path
+                << " will be an empty (but valid) trace\n";
+    }
+    bbng::obs::trace::begin();
+  }
 
   const bbng::RunReport report = resume
                                      ? bbng::resume_campaign(campaign, spec_text, config)
                                      : bbng::run_campaign(campaign, spec_text, config);
+  if (!trace_path->empty()) {
+    bbng::obs::trace::write_file(*trace_path);
+    std::cout << "trace:    " << *trace_path << "\n";
+  }
   print_report(resume ? "resume" : "run", report, config);
+  return 0;
+}
+
+/// `report` — aggregate the per-job `obs` counter blocks of a finished
+/// artifact into per-scenario per-counter totals and per-job means. Fails
+/// (exit 1) when the artifact carries no obs blocks at all, so CI notices a
+/// run that silently lost its telemetry.
+int report_obs(int argc, const char** argv) {
+  bbng::Cli cli("bbng_engine report",
+                "per-scenario counter breakdown of an artifact's obs blocks");
+  const auto artifact = cli.add_string("artifact", "", "campaign JSONL artifact path");
+  const auto csv = cli.add_flag("csv", "emit CSV instead of an ASCII grid");
+  cli.parse(argc, argv);
+  if (artifact->empty()) {
+    std::cerr << "error: --artifact is required\n" << cli.usage();
+    return 2;
+  }
+  const bbng::JsonlFile file = bbng::read_jsonl(*artifact);
+
+  // First-appearance-ordered aggregation, like the summary sink: the report
+  // is as deterministic as the artifact itself.
+  struct CounterRow {
+    std::string scenario;
+    std::string task;
+    std::string counter;
+    std::uint64_t total = 0;
+    std::uint64_t jobs = 0;  ///< jobs whose block carried this counter
+  };
+  std::vector<CounterRow> rows;
+  std::vector<std::pair<std::string, std::uint64_t>> scenario_jobs;
+  std::uint64_t records_with_obs = 0;
+  for (const auto& record : file.records) {
+    const std::string& scenario = record.at("scenario").as_string();
+    const std::string& task = record.at("task").as_string();
+    std::uint64_t* jobs = nullptr;
+    for (auto& [name, count] : scenario_jobs) {
+      if (name == scenario) jobs = &count;
+    }
+    if (jobs == nullptr) {
+      scenario_jobs.emplace_back(scenario, 0);
+      jobs = &scenario_jobs.back().second;
+    }
+    ++*jobs;
+    const bbng::JsonValue* obs = record.find("obs");
+    if (obs == nullptr) continue;
+    ++records_with_obs;
+    for (const auto& [counter, value] : obs->members()) {
+      CounterRow* row = nullptr;
+      for (auto& existing : rows) {
+        if (existing.scenario == scenario && existing.counter == counter) row = &existing;
+      }
+      if (row == nullptr) {
+        rows.push_back(CounterRow{scenario, task, counter, 0, 0});
+        row = &rows.back();
+      }
+      row->total += value.as_uint();
+      ++row->jobs;
+    }
+  }
+  if (records_with_obs == 0) {
+    std::cerr << "error: " << *artifact
+              << " has no obs blocks (written with --no-obs or a BBNG_OBS=OFF build?)\n";
+    return 1;
+  }
+
+  bbng::Table table({"scenario", "task", "counter", "jobs", "total", "mean_per_job"});
+  table.set_title("work counters: " + file.header.at("campaign").as_string() + " (" +
+                  std::to_string(records_with_obs) + " of " +
+                  std::to_string(file.records.size()) + " record(s) with obs)");
+  for (const CounterRow& row : rows) {
+    std::uint64_t scenario_total_jobs = 0;
+    for (const auto& [name, count] : scenario_jobs) {
+      if (name == row.scenario) scenario_total_jobs = count;
+    }
+    // Mean over ALL of the scenario's jobs, not just those where the
+    // counter fired: deltas() omits zeros, and a counter that fired in 3 of
+    // 100 jobs should not read as if it averaged its hot-job value.
+    const double mean = scenario_total_jobs == 0
+                            ? 0.0
+                            : static_cast<double>(row.total) /
+                                  static_cast<double>(scenario_total_jobs);
+    table.new_row()
+        .add(row.scenario)
+        .add(row.task)
+        .add(row.counter)
+        .add(row.jobs)
+        .add(row.total)
+        .add(mean);
+  }
+  table.print(std::cout, *csv);
   return 0;
 }
 
@@ -155,6 +276,7 @@ int main(int argc, const char** argv) {
     // program-name slot of its Cli).
     if (subcommand == "run") return run_or_resume(false, argc - 1, argv + 1);
     if (subcommand == "resume") return run_or_resume(true, argc - 1, argv + 1);
+    if (subcommand == "report") return report_obs(argc - 1, argv + 1);
     if (subcommand == "validate") return validate(argc - 1, argv + 1);
     if (subcommand == "list-tasks") return list_tasks();
     if (subcommand == "list-solvers") return list_solvers();
