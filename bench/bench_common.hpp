@@ -7,34 +7,22 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/procstat.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace bbng::bench {
 
-/// Peak resident set size of this process in KiB (VmHWM from
-/// /proc/self/status), or 0 where the proc interface is unavailable. Every
-/// bench binary prints this next to its RESULT line so run_bench.py can
-/// record memory ceilings alongside wall time in the BENCH_*.json payloads.
-inline std::uint64_t peak_rss_kb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) != 0) continue;
-    std::istringstream fields(line.substr(6));
-    std::uint64_t kb = 0;
-    fields >> kb;
-    return kb;
-  }
-  return 0;
-}
+// peak_rss_kb now lives in util/procstat.hpp (shared with the engine's
+// .obs_host.json sidecar and the gauge sampler); every bench binary still
+// prints it next to its RESULT line so run_bench.py can record memory
+// ceilings alongside wall time in the BENCH_*.json payloads.
+using bbng::peak_rss_kb;
 
 struct CommonFlags {
   std::shared_ptr<bool> csv;

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition written by ``bbng_engine --metrics-out``.
+
+Structural checks (mirrors the stricter in-test parser in
+``tests/test_timing.cpp``, so a file that passes CI also passes the unit
+suite's grammar):
+
+  * every non-comment line is ``name[{labels}] value`` with a legal metric
+    name (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and a float value;
+  * every sample belongs to a ``# TYPE`` family declared above it, and the
+    family type is one of counter / gauge / histogram;
+  * all bbng metrics carry the ``bbng_`` prefix; counters end in ``_total``;
+  * histogram bucket counts are cumulative, the ``+Inf`` bucket exists and
+    equals ``_count``.
+
+Exit codes: 0 valid, 1 malformed (offending line printed), 2 unreadable.
+
+Usage:
+    python3 scripts/check_prometheus_text.py all_regimes.metrics.prom
+"""
+
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$")
+
+
+def fail(lineno, line, why):
+    print(f"FAIL line {lineno}: {why}\n  {line}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = pathlib.Path(sys.argv[1])
+    try:
+        text = path.read_text()
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+    types = {}  # family name -> counter | gauge | histogram
+    histograms = {}  # family name -> list of (le, count)
+    hist_counts = {}  # family name -> _count value
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(lineno, line, "# TYPE needs exactly a name and a type")
+                name, kind = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    fail(lineno, line, f"illegal metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram"):
+                    fail(lineno, line, f"unknown metric type {kind!r}")
+                if name in types:
+                    fail(lineno, line, f"duplicate # TYPE for {name}")
+                types[name] = kind
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(lineno, line, "not of the form name[{labels}] value")
+        name, labels, value = match.group("name", "labels", "value")
+        try:
+            float(value)
+        except ValueError:
+            fail(lineno, line, f"non-numeric sample value {value!r}")
+        if name.startswith("bbng_") is False:
+            fail(lineno, line, "metric lacks the bbng_ prefix")
+        # Resolve the declaring family: histogram samples use the family
+        # name plus a _bucket/_sum/_count suffix.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            fail(lineno, line, f"sample {name} has no preceding # TYPE")
+        kind = types[family]
+        if kind == "counter" and not name.endswith("_total"):
+            fail(lineno, line, "counter sample must end in _total")
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                if not labels:
+                    fail(lineno, line, "_bucket sample needs an le label")
+                le_match = re.search(r'le="([^"]+)"', labels)
+                if not le_match:
+                    fail(lineno, line, "_bucket sample needs an le label")
+                le = le_match.group(1)
+                bound = float("inf") if le == "+Inf" else float(le)
+                histograms.setdefault(family, []).append((bound, float(value)))
+            elif name.endswith("_count"):
+                hist_counts[family] = float(value)
+        samples += 1
+
+    for family, buckets in histograms.items():
+        prev_bound, prev_count = float("-inf"), 0.0
+        for bound, count in buckets:
+            if bound <= prev_bound:
+                fail(0, family, "histogram buckets not in increasing le order")
+            if count < prev_count:
+                fail(0, family, "histogram bucket counts are not cumulative")
+            prev_bound, prev_count = bound, count
+        if buckets[-1][0] != float("inf"):
+            fail(0, family, "histogram is missing the +Inf bucket")
+        if family in hist_counts and buckets[-1][1] != hist_counts[family]:
+            fail(0, family, "+Inf bucket disagrees with _count")
+
+    if samples == 0:
+        print(f"error: {path} contains no samples", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {path} — {samples} samples across {len(types)} families")
+
+
+if __name__ == "__main__":
+    main()

@@ -208,6 +208,13 @@ def main():
         default=0,
         help="star size for bench_churn's join-only large-n smoke; 0 skips it",
     )
+    parser.add_argument(
+        "--max-obs-overhead-pct",
+        type=float,
+        default=None,
+        help="fail (exit 3) if bench_churn's obs_overhead_pct exceeds this; "
+        "CI passes 5 so telemetry regressions block the merge",
+    )
     args = parser.parse_args()
     build = pathlib.Path(args.build_dir)
 
@@ -585,6 +592,17 @@ def main():
             best = max(r["saving"] for r in trace_rows)
             print(f"churn solver-invocation saving: {best:.2f}x")
         print(f"churn telemetry overhead: {obs_overhead_pct:.2f}%")
+        if (
+            args.max_obs_overhead_pct is not None
+            and obs_overhead_pct > args.max_obs_overhead_pct
+        ):
+            print(
+                f"error: obs_overhead_pct {obs_overhead_pct:.2f}% exceeds the "
+                f"--max-obs-overhead-pct budget of {args.max_obs_overhead_pct:.2f}% "
+                "(telemetry must stay near-free on the churn hot path)",
+                file=sys.stderr,
+            )
+            sys.exit(3)
 
 
 if __name__ == "__main__":

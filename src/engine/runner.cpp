@@ -13,6 +13,7 @@
 #include "engine/sinks.hpp"
 #include "engine/tasks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/assert.hpp"
@@ -169,14 +170,23 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
   };
 
   const JobOptions job_options{config.obs && campaign.obs};
+  // Latency histograms alongside the spans: same extents, same names minus
+  // the span/histogram naming split (histograms use dots throughout).
+  static const obs::HistogramId kWindowHist = obs::register_histogram("runner.window");
+  static const obs::HistogramId kCommitHist = obs::register_histogram("runner.commit");
+  // Host telemetry for the sidecar: VmRSS/VmHWM and counter rates, sampled
+  // at the spec's cadence for the lifetime of this drive. Host-scoped only —
+  // it never touches the artifact bytes.
+  obs::GaugeSampler sampler(campaign.gauge_sample_seconds);
+  sampler.start();
   bool halted = false;
   while (report.committed < report.total_jobs && !halted) {
     const std::uint64_t begin = report.committed;
     // min() before the addition so a huge window cannot overflow begin+window.
     const std::uint64_t end = begin + std::min(window, report.total_jobs - begin);
-    obs::TraceSpan window_span("runner.window");
-    window_span.arg("begin", begin);
-    window_span.arg("end", end);
+    obs::ScopedTimer window_timer(kWindowHist, "runner.window");
+    window_timer.arg("begin", begin);
+    window_timer.arg("end", end);
     std::vector<std::string> lines(end - begin);
     std::atomic<std::uint64_t> window_done{0};
     pool.run_chunked(end - begin, 1, [&](std::uint64_t lo, std::uint64_t hi) {
@@ -187,22 +197,27 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
       }
     });
     report.executed += end - begin;
-    obs::TraceSpan commit_span("runner.commit");
-    commit_span.arg("begin", begin);
-    commit_span.arg("end", end);
-    for (const std::string& line : lines) {
-      out << line << '\n';
-      if (!out) runner_error("failed writing " + config.output_path);
-      offset += line.size() + 1;
-      ++report.committed;
-      if (report.committed % cadence == 0 && report.committed < report.total_jobs) {
-        checkpoint(false);
-      }
-      if (config.halt_after > 0 && report.committed >= config.halt_after) {
-        halted = true;
-        break;
+    {
+      obs::ScopedTimer commit_timer(kCommitHist, "runner.commit");
+      commit_timer.arg("begin", begin);
+      commit_timer.arg("end", end);
+      for (const std::string& line : lines) {
+        out << line << '\n';
+        if (!out) runner_error("failed writing " + config.output_path);
+        offset += line.size() + 1;
+        ++report.committed;
+        if (report.committed % cadence == 0 && report.committed < report.total_jobs) {
+          checkpoint(false);
+        }
+        if (config.halt_after > 0 && report.committed >= config.halt_after) {
+          halted = true;
+          break;
+        }
       }
     }
+    // Scrapers see fresh numbers once per window — cheap enough (one file
+    // rewrite per window) and always a consistent post-commit view.
+    if (!config.metrics_out.empty()) obs::write_exposition_file(config.metrics_out);
   }
 
   if (!halted) {
@@ -216,6 +231,14 @@ RunReport drive(const CampaignSpec& campaign, const std::string& fingerprint,
       summary_span.arg("artifact", config.output_path);
       write_summary_file(config.output_path, summary_path_for(config.output_path));
     }
+    // Host-telemetry sidecar at summary time: final gauge sample first so
+    // even a sub-interval run records memory, then the sidecar with this
+    // drive's elapsed wall time. Sits NEXT TO the artifact, never in it —
+    // the timing inside is machine-dependent by nature.
+    sampler.stop();
+    write_obs_host_file(obs_host_path_for(config.output_path), campaign.name,
+                        timer.elapsed_seconds());
+    if (!config.metrics_out.empty()) obs::write_exposition_file(config.metrics_out);
     checkpoint(true);
     report.completed = true;
   } else if (!out.flush()) {

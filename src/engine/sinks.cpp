@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "engine/hostinfo.hpp"
+#include "obs/timing.hpp"
 #include "util/assert.hpp"
+#include "util/procstat.hpp"
 #include "util/stats.hpp"
 
 namespace bbng {
@@ -236,6 +238,64 @@ void write_summary_file(const std::string& jsonl_path, const std::string& summar
   if (!out.flush()) throw std::invalid_argument("summary: failed flushing " + tmp_path);
   out.close();
   std::filesystem::rename(tmp_path, summary_path);
+}
+
+std::string obs_host_path_for(const std::string& output_path) {
+  return output_path + ".obs_host.json";
+}
+
+void write_obs_host_file(const std::string& sidecar_path, const std::string& campaign_name,
+                         double elapsed_seconds) {
+  const std::string tmp_path = sidecar_path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::invalid_argument("obs_host: cannot open " + tmp_path);
+  JsonWriter writer(out, /*pretty=*/true);
+  writer.begin_object()
+      .field("format", "bbng-obs-host")
+      .field("format_version", 1)
+      .field("campaign", campaign_name)
+      .field("elapsed_seconds", elapsed_seconds)
+#if defined(BBNG_OBS_DISABLED)
+      .field("obs_compiled", false);
+#else
+      .field("obs_compiled", true);
+#endif
+  writer.key("host").begin_object();
+  write_host_info_fields(writer);
+  // peak_rss_kb lives here, NOT in the artifact header: VmHWM differs
+  // between a straight-through run and a kill/resume pair, and the header
+  // must stay byte-identical across both.
+  writer.field("peak_rss_kb", peak_rss_kb()).end_object();
+  writer.key("gauges").begin_object();
+  for (const obs::GaugeSnapshot& gauge : obs::gauge_snapshot()) {
+    writer.key(gauge.name)
+        .begin_object()
+        .field("last", gauge.last)
+        .field("min", gauge.min)
+        .field("max", gauge.max)
+        .field("samples", gauge.samples)
+        .end_object();
+  }
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const obs::HistogramSnapshot& hist : obs::histogram_snapshot()) {
+    if (hist.count == 0) continue;
+    writer.key(hist.name)
+        .begin_object()
+        .field("count", hist.count)
+        .field("sum_us", hist.sum_us)
+        .field("max_us", hist.max_us)
+        .field("p50_us", hist.quantile_us(0.50))
+        .field("p90_us", hist.quantile_us(0.90))
+        .field("p99_us", hist.quantile_us(0.99))
+        .end_object();
+  }
+  writer.end_object().end_object();
+  BBNG_ASSERT(writer.complete());
+  out << '\n';
+  if (!out.flush()) throw std::invalid_argument("obs_host: failed flushing " + tmp_path);
+  out.close();
+  std::filesystem::rename(tmp_path, sidecar_path);
 }
 
 }  // namespace bbng

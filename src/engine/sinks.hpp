@@ -43,4 +43,20 @@ struct JsonlFile {
 /// deterministic as the JSONL itself.
 void write_summary_file(const std::string& jsonl_path, const std::string& summary_path);
 
+/// Path of the host-telemetry sidecar next to an artifact:
+/// `<output>.obs_host.json`.
+[[nodiscard]] std::string obs_host_path_for(const std::string& output_path);
+
+/// Write the host-scoped telemetry sidecar: a host block (the artifact
+/// header's fields PLUS `peak_rss_kb` — VmHWM read now, i.e. at summary
+/// time, like bench host blocks), every gauge (last/min/max/samples), and
+/// every latency histogram (count/sum/max plus interpolated p50/p90/p99).
+/// ALL timing lives here, never in the JSONL: wall-clock depends on the
+/// machine, and the artifact must stay byte-identical across thread counts
+/// and kill/resume. Written even under BBNG_OBS=OFF (empty gauge/histogram
+/// blocks, the memory figures still real) so downstream tooling never has
+/// to probe for the file. tmp + rename, like every other engine artifact.
+void write_obs_host_file(const std::string& sidecar_path, const std::string& campaign_name,
+                         double elapsed_seconds);
+
 }  // namespace bbng

@@ -334,11 +334,12 @@ ScenarioSpec parse_scenario(const JsonValue& object, const std::string& fallback
   if (scenario.name.empty()) spec_error("scenario", "missing required key \"name\"");
   const std::string where = "scenario \"" + scenario.name + "\"";
 
-  // "obs" is consumed at the campaign level (parse_campaign_spec); it is
-  // listed here only so the single-scenario form accepts it at top level.
+  // "obs" and "gauge_sample_seconds" are consumed at the campaign level
+  // (parse_campaign_spec); they are listed here only so the single-scenario
+  // form accepts them at top level.
   reject_unknown_keys(object,
-                      {"name", "base_seed", "obs", "task", "version", "generator", "budgets",
-                       "grid", "seeds", "params"},
+                      {"name", "base_seed", "obs", "gauge_sample_seconds", "task", "version",
+                       "generator", "budgets", "grid", "seeds", "params"},
                       where);
 
   scenario.task = parse_task(require_key(object, "task", where).as_string(), where);
@@ -458,10 +459,17 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
   if (const JsonValue* obs = root.find("obs"); obs != nullptr) {
     campaign.obs = obs->as_bool();
   }
+  if (const JsonValue* cadence = root.find("gauge_sample_seconds"); cadence != nullptr) {
+    campaign.gauge_sample_seconds = cadence->as_double();
+    if (!(campaign.gauge_sample_seconds > 0) || campaign.gauge_sample_seconds > 60) {
+      spec_error("campaign", "gauge_sample_seconds must be in (0, 60]");
+    }
+  }
 
   const JsonValue* scenarios = root.find("scenarios");
   if (scenarios != nullptr) {
-    reject_unknown_keys(root, {"name", "base_seed", "obs", "scenarios"}, "campaign");
+    reject_unknown_keys(root, {"name", "base_seed", "obs", "gauge_sample_seconds", "scenarios"},
+                        "campaign");
     if (!scenarios->is_array() || scenarios->items().empty()) {
       spec_error("campaign", "scenarios must be a non-empty array");
     }
@@ -473,6 +481,10 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
       }
       if (item.find("obs") != nullptr) {
         spec_error("campaign", "obs belongs at the campaign level, not in a scenario");
+      }
+      if (item.find("gauge_sample_seconds") != nullptr) {
+        spec_error("campaign",
+                   "gauge_sample_seconds belongs at the campaign level, not in a scenario");
       }
       campaign.scenarios.push_back(parse_scenario(item, ""));
     }

@@ -123,6 +123,11 @@ struct CampaignSpec {
   /// the CLI's --no-obs overrides true at run time without touching the
   /// spec (and hence the fingerprint).
   bool obs = true;
+  /// Cadence of the host-telemetry gauge sampler (VmRSS/VmHWM, counter
+  /// rates) during a run, seconds (top-level "gauge_sample_seconds" key).
+  /// Host-scoped only: it shapes the `.obs_host.json` sidecar, never the
+  /// deterministic artifact bytes.
+  double gauge_sample_seconds = 0.25;
   std::vector<ScenarioSpec> scenarios;
 
   [[nodiscard]] std::uint64_t num_jobs() const noexcept;

@@ -13,6 +13,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/assert.hpp"
@@ -279,7 +280,8 @@ std::string run_job_line(const CampaignSpec& campaign, const Job& job,
   BBNG_REQUIRE(job.scenario_index < campaign.scenarios.size());
   const ScenarioSpec& scenario = campaign.scenarios[job.scenario_index];
 
-  obs::TraceSpan span("job");
+  static const obs::HistogramId kJobHist = obs::register_histogram("engine.job");
+  obs::ScopedTimer span(kJobHist, "job");
   span.arg("job", job.id);
   span.arg("task", to_string(scenario.task));
   span.arg("scenario", scenario.name);

@@ -4,6 +4,7 @@
 
 #include "game/strategy_eval.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "solver/registry.hpp"
 
@@ -351,7 +352,8 @@ void ChurnEngine::apply(const ChurnEvent& event) {
   const Vertex p = event.player;
   const std::uint32_t n = graph_.num_vertices();
   BBNG_REQUIRE(p < n);
-  obs::TraceSpan span("churn.apply");
+  static const obs::HistogramId kEventHist = obs::register_histogram("churn.event");
+  obs::ScopedTimer span(kEventHist, "churn.apply");
   span.arg("kind", to_string(event.kind));
   span.arg("player", std::uint64_t{p});
   DeltaKind delta = DeltaKind::kNone;

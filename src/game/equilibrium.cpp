@@ -9,6 +9,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/multi_bfs.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "solver/registry.hpp"
@@ -104,7 +105,8 @@ NashReport verify_nash_equilibrium(const Digraph& g, CostVersion version,
   const BestResponseBackend& backend = find_solver(solver);
   const std::uint32_t n = g.num_vertices();
   if (budget_caps != nullptr) BBNG_REQUIRE(budget_caps->size() == n);
-  obs::TraceSpan span("audit.nash");
+  static const obs::HistogramId kAuditHist = obs::register_histogram("audit.nash");
+  obs::ScopedTimer span(kAuditHist, "audit.nash");
   span.arg("solver", solver);
   span.arg("players", std::uint64_t{n});
   NashReport report;

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "obs/timing.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace bbng {
@@ -36,10 +37,14 @@ std::vector<BfsAggregates> multi_source_aggregates(const G& g,
   exec.run_chunked(batches, 1, [&](std::uint64_t lo, std::uint64_t hi) {
     const WorkspacePool::Lease lease = WorkspacePool::shared().acquire(g.num_vertices());
     MultiBfsT<G> engine(g, &lease.ws());
+    // Histogram only, no trace span: a campaign runs this batch sweep
+    // millions of times, and per-batch span events would swamp the trace.
+    static const obs::HistogramId kSweepHist = obs::register_histogram("bfs.multi.sweep");
     for (std::uint64_t b = lo; b < hi; ++b) {
       const std::size_t first = static_cast<std::size_t>(b) * MultiBfsT<G>::kLanes;
       const std::size_t count =
           std::min<std::size_t>(MultiBfsT<G>::kLanes, sources.size() - first);
+      const obs::ScopedTimer sweep_timer(kSweepHist);
       engine.run_batch(sources.subspan(first, count),
                        std::span<BfsAggregates>(out).subspan(first, count));
     }

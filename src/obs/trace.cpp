@@ -227,6 +227,7 @@ std::size_t validate_trace_json(const JsonValue& root) {
   if (events == nullptr) trace_error("document lacks a traceEvents member");
   if (!events->is_array()) trace_error("traceEvents must be an array");
   std::size_t index = 0;
+  double previous_ts = -1;
   for (const JsonValue& event : events->items()) {
     const std::string where = "traceEvents[" + std::to_string(index) + "]";
     if (!event.is_object()) trace_error(where + " must be an object");
@@ -244,6 +245,15 @@ std::size_t validate_trace_json(const JsonValue& root) {
         trace_error(where + " needs a non-negative numeric " + field);
       }
     }
+    // The emitter stable-sorts by ts, so a decreasing ts means a torn or
+    // hand-edited document — and downstream attribution (trace_analysis)
+    // depends on the ordering.
+    const double ts = event.at("ts").as_double();
+    if (ts < previous_ts) {
+      trace_error(where + " ts is non-monotonic (decreased from " +
+                  std::to_string(previous_ts) + " to " + std::to_string(ts) + ")");
+    }
+    previous_ts = ts;
     const JsonValue* args = event.find("args");
     if (args != nullptr && !args->is_object()) trace_error(where + " args must be an object");
     ++index;

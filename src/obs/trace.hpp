@@ -99,8 +99,10 @@ void write_file(const std::string& path);      // writes the empty document
 /// Structural Chrome-trace validation (always compiled): requires the
 /// object form with a "traceEvents" array of complete events carrying the
 /// fields Perfetto needs (name, ph "X", numeric ts/dur/pid/tid, object
-/// args). Returns the event count; throws std::invalid_argument naming the
-/// first violation. Used by tests to prove emitted traces round-trip.
+/// args) with non-decreasing ts across the array (the emitter sorts; the
+/// trace_analysis attribution depends on the order). Returns the event
+/// count; throws std::invalid_argument naming the first violation. Used by
+/// tests to prove emitted traces round-trip.
 std::size_t validate_trace_json(const JsonValue& root);
 
 }  // namespace bbng::obs

@@ -1,0 +1,130 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace bbng::obs {
+
+namespace {
+
+[[noreturn]] void analysis_error(const std::string& what) {
+  throw std::invalid_argument("trace_analysis: " + what);
+}
+
+/// One complete event, flattened out of the JSON for attribution.
+struct Event {
+  std::string name;
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+};
+
+/// ts/dur/pid/tid are validated non-negative numerics; the emitter writes
+/// integer microseconds, but hand-written traces may carry doubles — round
+/// to the nearest microsecond so attribution stays integral.
+std::uint64_t as_us(const JsonValue& value) {
+  if (value.is_int()) return value.as_uint();
+  return static_cast<std::uint64_t>(std::llround(value.as_double()));
+}
+
+/// An open span on the reconstruction stack.
+struct OpenSpan {
+  const Event* event = nullptr;
+  std::uint64_t end = 0;       ///< ts + dur
+  std::uint64_t child_us = 0;  ///< accumulated durations of DIRECT children
+};
+
+}  // namespace
+
+TraceAttribution attribute_trace(const JsonValue& root) {
+  static_cast<void>(validate_trace_json(root));
+
+  std::vector<Event> events;
+  for (const JsonValue& item : root.at("traceEvents").items()) {
+    Event event;
+    event.name = item.at("name").as_string();
+    event.ts = as_us(item.at("ts"));
+    event.dur = as_us(item.at("dur"));
+    event.pid = as_us(item.at("pid"));
+    event.tid = as_us(item.at("tid"));
+    events.push_back(std::move(event));
+  }
+
+  TraceAttribution out;
+  out.events = events.size();
+
+  // Group per (pid, tid): RAII spans nest strictly only within one thread.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<const Event*>> threads;
+  for (const Event& event : events) threads[{event.pid, event.tid}].push_back(&event);
+
+  // Accumulators keyed by name / folded stack; ordering is fixed at the end.
+  std::map<std::string, PhaseStat> phases;
+  std::map<std::string, std::uint64_t> folded;
+
+  for (auto& [thread_key, thread_events] : threads) {
+    static_cast<void>(thread_key);
+    // Parents before children: ts ascending, then duration DESCENDING so a
+    // child starting at its parent's timestamp still stacks under it.
+    std::stable_sort(thread_events.begin(), thread_events.end(),
+                     [](const Event* a, const Event* b) {
+                       if (a->ts != b->ts) return a->ts < b->ts;
+                       return a->dur > b->dur;
+                     });
+
+    std::vector<OpenSpan> stack;
+    std::string path;  // ";"-joined names of the open spans
+
+    const auto pop = [&] {
+      const OpenSpan top = stack.back();
+      stack.pop_back();
+      const std::uint64_t self =
+          top.event->dur > top.child_us ? top.event->dur - top.child_us : 0;
+      phases[top.event->name].self_us += self;
+      folded[path] += self;  // zero-self frames stay: dispatchers belong too
+      path.resize(path.size() - top.event->name.size() - (stack.empty() ? 0 : 1));
+      if (!stack.empty()) stack.back().child_us += top.event->dur;
+    };
+
+    for (const Event* event : thread_events) {
+      const std::uint64_t end = event->ts + event->dur;
+      while (!stack.empty() && event->ts >= stack.back().end) pop();
+      if (!stack.empty() && end > stack.back().end) {
+        analysis_error("spans \"" + stack.back().event->name + "\" and \"" + event->name +
+                       "\" partially overlap on tid " + std::to_string(event->tid) +
+                       " (RAII spans must nest)");
+      }
+      PhaseStat& phase = phases[event->name];
+      phase.name = event->name;
+      ++phase.count;
+      phase.total_us += event->dur;
+      if (!path.empty()) path += ';';
+      path += event->name;
+      stack.push_back(OpenSpan{event, end, 0});
+    }
+    while (!stack.empty()) pop();
+  }
+
+  for (auto& [name, phase] : phases) {
+    static_cast<void>(name);
+    out.phases.push_back(std::move(phase));
+  }
+  std::sort(out.phases.begin(), out.phases.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    if (a.self_us != b.self_us) return a.self_us > b.self_us;
+    return a.name < b.name;
+  });
+  out.folded.assign(folded.begin(), folded.end());
+  return out;
+}
+
+void write_folded(std::ostream& os, const TraceAttribution& attribution) {
+  for (const auto& [stack, self_us] : attribution.folded) {
+    os << stack << ' ' << self_us << '\n';
+  }
+}
+
+}  // namespace bbng::obs

@@ -6,6 +6,7 @@
 #include "game/strategy_eval.hpp"
 #include "graph/bfs.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -408,7 +409,8 @@ SolverResult ExactBranchAndBound::solve(const Digraph& g, Vertex player, CostVer
                                         TranspositionCache* cache) const {
   (void)pool;  // the DFS is sequential; callers parallelise across players
   BBNG_REQUIRE(player < g.num_vertices());
-  obs::TraceSpan span("solve:exact_bb");
+  static const obs::HistogramId kSolveHist = obs::register_histogram("solver.solve.exact_bb");
+  obs::ScopedTimer span(kSolveHist, "solve:exact_bb");
   span.arg("player", std::uint64_t{player});
   const std::uint32_t n = g.num_vertices();
   // The budget cap, which is the out-degree unless a caller (churn) split

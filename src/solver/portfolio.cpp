@@ -5,6 +5,7 @@
 #include "facility/reduction.hpp"
 #include "game/strategy_eval.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "util/combinatorics.hpp"
 #include "util/rng.hpp"
@@ -37,7 +38,8 @@ SolverResult PortfolioSolver::solve(const Digraph& g, Vertex player, CostVersion
   (void)pool;
   (void)cache;
   BBNG_REQUIRE(player < g.num_vertices());
-  obs::TraceSpan span("solve:portfolio");
+  static const obs::HistogramId kSolveHist = obs::register_histogram("solver.solve.portfolio");
+  obs::ScopedTimer span(kSolveHist, "solve:portfolio");
   span.arg("player", std::uint64_t{player});
   const std::uint32_t b = effective_budget_cap(g, player, budget);
   if (b != g.out_degree(player)) {

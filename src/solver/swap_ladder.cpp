@@ -4,6 +4,7 @@
 
 #include "game/strategy_eval.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "obs/trace.hpp"
 
 namespace bbng {
@@ -30,7 +31,8 @@ SolverResult SwapLadderSolver::solve(const Digraph& g, Vertex player, CostVersio
                                      const SolverBudget& budget, ThreadPool* pool,
                                      TranspositionCache* cache) const {
   (void)cache;
-  obs::TraceSpan span("solve:swap_ladder");
+  static const obs::HistogramId kSolveHist = obs::register_histogram("solver.solve.swap_ladder");
+  obs::ScopedTimer span(kSolveHist, "solve:swap_ladder");
   span.arg("player", std::uint64_t{player});
   const std::uint32_t cap = effective_budget_cap(g, player, budget);
   if (cap != g.out_degree(player)) {

@@ -1,0 +1,27 @@
+#include "util/procstat.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bbng {
+
+std::uint64_t proc_status_kb(const char* field) {
+  std::ifstream status("/proc/self/status");
+  const std::string prefix = std::string(field) + ":";
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    std::istringstream fields(line.substr(prefix.size()));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+std::uint64_t peak_rss_kb() { return proc_status_kb("VmHWM"); }
+
+std::uint64_t current_rss_kb() { return proc_status_kb("VmRSS"); }
+
+}  // namespace bbng

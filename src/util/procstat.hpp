@@ -1,0 +1,24 @@
+// Process memory accounting from /proc/self/status.
+//
+// The bench harness, the gauge sampler, and the engine's obs-host sidecar
+// all record resident-set figures; this is the one place that parses them.
+// Values are KiB as the kernel reports them; 0 where the proc interface is
+// unavailable (non-Linux), so callers treat 0 as "unknown", never as a
+// measured footprint.
+#pragma once
+
+#include <cstdint>
+
+namespace bbng {
+
+/// KiB value of one `/proc/self/status` field (e.g. "VmHWM", "VmRSS");
+/// 0 when the field or the proc interface is absent.
+[[nodiscard]] std::uint64_t proc_status_kb(const char* field);
+
+/// Peak resident set size (VmHWM) of this process in KiB.
+[[nodiscard]] std::uint64_t peak_rss_kb();
+
+/// Current resident set size (VmRSS) of this process in KiB.
+[[nodiscard]] std::uint64_t current_rss_kb();
+
+}  // namespace bbng

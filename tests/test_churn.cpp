@@ -57,7 +57,9 @@ void expect_matches_audit(ChurnEngine& engine, const char* context) {
   const NashReport report = engine.audit();
   ASSERT_EQ(engine.epsilon(), report.epsilon) << context;
   ASSERT_EQ(engine.stable(), report.stable) << context;
-  if (!report.stable) ASSERT_EQ(engine.deviator(), report.deviator) << context;
+  if (!report.stable) {
+    ASSERT_EQ(engine.deviator(), report.deviator) << context;
+  }
 }
 
 Digraph small_instance(std::uint32_t n, Rng& rng) {

@@ -191,5 +191,93 @@ TEST(EngineCli, TraceReportAndNoObsWorkEndToEnd) {
   std::filesystem::remove(path);
 }
 
+TEST(EngineCli, MetricsOutWritesAPrometheusExpositionFile) {
+  const std::string path = write_temp_spec("metrics_probe", R"({
+    "name": "metrics_probe", "task": "swap_equilibrium", "version": "sum",
+    "generator": "star", "grid": {"n": [6]}, "seeds": {"begin": 0, "end": 2}})");
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  const std::string artifact = (dir / "bbng_cli_metrics_probe.jsonl").string();
+  const std::string metrics = (dir / "bbng_cli_metrics_probe.prom").string();
+  std::filesystem::remove(artifact);
+  std::filesystem::remove(metrics);
+
+  const CliResult result = run_cli("run --spec " + path + " --output " + artifact +
+                                   " --quiet --metrics-out " + metrics);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("metrics:"), std::string::npos) << result.output;
+  ASSERT_TRUE(std::filesystem::exists(metrics));
+  EXPECT_FALSE(std::filesystem::exists(metrics + ".tmp")) << "rewrites must be atomic";
+  std::ifstream in(metrics, std::ios::binary);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  EXPECT_EQ(first_line, "# bbng metrics exposition (Prometheus text format)");
+
+  // The run also leaves the host-telemetry sidecar next to the artifact.
+  EXPECT_TRUE(std::filesystem::exists(artifact + ".obs_host.json"));
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(metrics);
+  for (const char* suffix : {"", ".ckpt.json", ".summary.json", ".obs_host.json"}) {
+    std::filesystem::remove(artifact + suffix);
+  }
+}
+
+TEST(EngineCli, ReportMergesAHandcraftedHostSidecarVerbatim) {
+  // A handcrafted artifact + sidecar make the merged report fully
+  // deterministic, so the CSV output can be compared as a golden string.
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  const std::string artifact = (dir / "bbng_cli_golden.jsonl").string();
+  {
+    std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+    out << R"({"format": "bbng-jsonl", "campaign": "golden"})" << "\n"
+        << R"({"job": 0, "scenario": "s1", "task": "dynamics", "obs": {"a.b": 10}})" << "\n"
+        << R"({"job": 1, "scenario": "s1", "task": "dynamics", "obs": {"a.b": 32}})" << "\n";
+  }
+  {
+    std::ofstream out(artifact + ".obs_host.json", std::ios::binary | std::ios::trunc);
+    out << R"({
+      "format": "bbng-obs-host", "format_version": 1, "campaign": "golden",
+      "elapsed_seconds": 1.5, "obs_compiled": true,
+      "host": {"host_threads": 1, "compiler": "x", "build_type": "Release",
+               "git_sha": "abc", "peak_rss_kb": 12345},
+      "gauges": {"mem.vm_rss_kb": {"last": 100.0, "min": 50.0, "max": 120.0, "samples": 4}},
+      "histograms": {"engine.job": {"count": 2, "sum_us": 300, "max_us": 200,
+                                    "p50_us": 100.0, "p90_us": 180.0, "p99_us": 198.0}}
+    })" << "\n";
+  }
+
+  const CliResult csv = run_cli("report --artifact " + artifact + " --csv");
+  EXPECT_EQ(csv.exit_code, 0) << csv.output;
+  EXPECT_EQ(csv.output,
+            "scenario,task,counter,jobs,total,mean_per_job\n"
+            "s1,dynamics,a.b,2,42,21.000\n"
+            "\n"
+            "phase,count,sum_us,max_us,p50_us,p90_us,p99_us\n"
+            "engine.job,2,300,200,100.0,180.0,198.0\n"
+            "\n"
+            "gauge,last,min,max,samples\n"
+            "mem.vm_rss_kb,100.000,50.000,120.000,4\n");
+
+  // Grid mode shows the same merge with the sidecar named in the titles,
+  // and peak_rss_kb surfaced on the gauge table.
+  const CliResult grid = run_cli("report --artifact " + artifact);
+  EXPECT_EQ(grid.exit_code, 0) << grid.output;
+  EXPECT_NE(grid.output.find("latency histograms: " + artifact + ".obs_host.json"),
+            std::string::npos)
+      << grid.output;
+  EXPECT_NE(grid.output.find("peak_rss_kb 12345"), std::string::npos) << grid.output;
+
+  // Without the sidecar the report is just the counter table — reports on
+  // pre-telemetry artifacts keep working unchanged.
+  std::filesystem::remove(artifact + ".obs_host.json");
+  const CliResult bare = run_cli("report --artifact " + artifact + " --csv");
+  EXPECT_EQ(bare.exit_code, 0) << bare.output;
+  EXPECT_EQ(bare.output,
+            "scenario,task,counter,jobs,total,mean_per_job\n"
+            "s1,dynamics,a.b,2,42,21.000\n");
+
+  std::filesystem::remove(artifact);
+}
+
 }  // namespace
 }  // namespace bbng

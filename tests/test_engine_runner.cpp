@@ -303,5 +303,60 @@ TEST_F(EngineRunnerTest, FirstProgressWindowPrintsUnknownEtaThenExtrapolates) {
   EXPECT_TRUE(saw_numeric_eta) << stderr_text;
 }
 
+TEST_F(EngineRunnerTest, CompletionWritesAHostSidecarWithPeakRss) {
+  const RunnerConfig cfg = config("sidecar.jsonl", 2);
+  EXPECT_TRUE(run_campaign(campaign_, kCampaignText, cfg).completed);
+
+  const std::string sidecar_path = obs_host_path_for(cfg.output_path);
+  EXPECT_EQ(sidecar_path, cfg.output_path + ".obs_host.json");
+  const JsonValue sidecar = parse_json(read_file(sidecar_path));
+  EXPECT_EQ(sidecar.at("format").as_string(), "bbng-obs-host");
+  EXPECT_EQ(sidecar.at("campaign").as_string(), "runner_probe");
+  EXPECT_GT(sidecar.at("elapsed_seconds").as_double(), 0.0);
+
+  // peak_rss_kb lives in the sidecar's host block, NOT the artifact header:
+  // VmHWM differs between a straight run and a kill/resume pair, and the
+  // header must stay byte-identical across both (the tests above prove the
+  // artifact does — this proves the memory figure still gets recorded).
+  const JsonValue& host = sidecar.at("host");
+  EXPECT_GT(host.at("peak_rss_kb").as_uint(), 0u);
+  EXPECT_GT(host.at("host_threads").as_uint(), 0u);
+  const JsonlFile artifact = read_jsonl(cfg.output_path);
+  EXPECT_EQ(artifact.header.at("host").find("peak_rss_kb"), nullptr)
+      << "the deterministic header must not carry machine-varying memory";
+
+  if (sidecar.at("obs_compiled").as_bool()) {
+    // A completed run always timed its windows and jobs.
+    const JsonValue& histograms = sidecar.at("histograms");
+    for (const char* name : {"runner.window", "runner.commit", "engine.job"}) {
+      const JsonValue* hist = histograms.find(name);
+      ASSERT_NE(hist, nullptr) << name;
+      EXPECT_GT(hist->at("count").as_uint(), 0u) << name;
+      EXPECT_GE(hist->at("p90_us").as_double(), hist->at("p50_us").as_double()) << name;
+      EXPECT_GE(hist->at("p99_us").as_double(), hist->at("p90_us").as_double()) << name;
+      EXPECT_GE(static_cast<double>(hist->at("max_us").as_uint()),
+                hist->at("p50_us").as_double())
+          << name;
+    }
+    const JsonValue* rss = sidecar.at("gauges").find("mem.vm_rss_kb");
+    ASSERT_NE(rss, nullptr);
+    EXPECT_GE(rss->at("samples").as_uint(), 1u) << "the final stop() sample at minimum";
+    EXPECT_GT(rss->at("last").as_double(), 0.0);
+  } else {
+    EXPECT_TRUE(sidecar.at("histograms").members().empty());
+  }
+}
+
+TEST_F(EngineRunnerTest, HaltedRunsLeaveNoSidecarUntilCompletion) {
+  RunnerConfig cfg = config("halted.jsonl", 2);
+  cfg.halt_after = 5;
+  EXPECT_FALSE(run_campaign(campaign_, kCampaignText, cfg).completed);
+  EXPECT_FALSE(std::filesystem::exists(obs_host_path_for(cfg.output_path)))
+      << "telemetry is summarised at completion, like the summary itself";
+  const RunnerConfig resume_cfg = config("halted.jsonl", 2);
+  EXPECT_TRUE(resume_campaign(campaign_, kCampaignText, resume_cfg).completed);
+  EXPECT_TRUE(std::filesystem::exists(obs_host_path_for(cfg.output_path)));
+}
+
 }  // namespace
 }  // namespace bbng

@@ -259,7 +259,9 @@ TEST(MultiBfs, DistanceConsumersMatchPerSeedWitness) {
     ASSERT_EQ(avg.has_value(), avg_witness.has_value()) << "graph " << index;
     // Both paths divide the same exact integer totals, so the doubles are
     // bit-identical, not merely close.
-    if (avg.has_value()) ASSERT_EQ(*avg, *avg_witness) << "graph " << index;
+    if (avg.has_value()) {
+      ASSERT_EQ(*avg, *avg_witness) << "graph " << index;
+    }
   }
 }
 

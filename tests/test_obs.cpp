@@ -228,7 +228,12 @@ TEST_F(ObsCampaignTest, ObsBlocksAreByteIdenticalAcrossThreadCountsAndResume) {
   const std::string reference = read_file(reference_cfg.output_path);
 
   for (const unsigned threads : {4u, 16u}) {
-    const RunnerConfig cfg = config("t" + std::to_string(threads) + ".jsonl", threads);
+    // Built by append: `"t" + std::to_string(...)` trips a GCC 12
+    // -Wrestrict false positive inside basic_string::insert.
+    std::string artifact = "t";
+    artifact += std::to_string(threads);
+    artifact += ".jsonl";
+    const RunnerConfig cfg = config(artifact, threads);
     ASSERT_TRUE(run_campaign(campaign_, kObsCampaignText, cfg).completed);
     EXPECT_EQ(read_file(cfg.output_path), reference) << "threads=" << threads;
   }

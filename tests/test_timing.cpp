@@ -1,0 +1,335 @@
+// Timing-telemetry tests: the 1-2-5 bucket ladder and quantile
+// interpolation, per-thread histogram shards merging (and surviving thread
+// exit) like the counter registry, the runtime kill switch, gauges and the
+// background GaugeSampler, ScopedTimer feeding both a histogram and a
+// trace span, and the Prometheus text exposition — validated by a small
+// in-test parser of the exposition format, so a formatting regression
+// fails here before a real scraper ever sees it.
+#include "obs/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/procstat.hpp"
+
+namespace bbng {
+namespace {
+
+obs::HistogramSnapshot find_histogram(const std::string& name) {
+  for (const obs::HistogramSnapshot& hist : obs::histogram_snapshot()) {
+    if (hist.name == name) return hist;
+  }
+  return {};
+}
+
+obs::GaugeSnapshot find_gauge(const std::string& name) {
+  for (const obs::GaugeSnapshot& gauge : obs::gauge_snapshot()) {
+    if (gauge.name == name) return gauge;
+  }
+  return {};
+}
+
+TEST(HistogramBuckets, BoundariesAreA125MicrosecondLadder) {
+  const auto& boundaries = obs::histogram_boundaries_us();
+  ASSERT_EQ(boundaries.size(), obs::kHistogramBoundaryCount);
+  EXPECT_EQ(boundaries.front(), 1u);
+  EXPECT_EQ(boundaries.back(), 100'000'000u);  // 100 s
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    EXPECT_LT(boundaries[i - 1], boundaries[i]);
+    // A 1-2-5 ladder: each boundary is 2x or 2.5x its predecessor.
+    const std::uint64_t ratio10 = boundaries[i] * 10 / boundaries[i - 1];
+    EXPECT_TRUE(ratio10 == 20 || ratio10 == 25) << boundaries[i];
+  }
+}
+
+TEST(HistogramBuckets, IndexingUsesLeSemantics) {
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1), 0u);  // value <= boundary
+  EXPECT_EQ(obs::histogram_bucket_index(2), 1u);
+  EXPECT_EQ(obs::histogram_bucket_index(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(5), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(6), 3u);
+  EXPECT_EQ(obs::histogram_bucket_index(100'000'000), obs::kHistogramBoundaryCount - 1);
+  // Beyond the last boundary: the +Inf overflow bucket.
+  EXPECT_EQ(obs::histogram_bucket_index(100'000'001), obs::kHistogramBoundaryCount);
+}
+
+TEST(HistogramSnapshot, QuantilesInterpolateInsideTheContainingBucket) {
+  obs::HistogramSnapshot snapshot;
+  EXPECT_EQ(snapshot.quantile_us(0.5), 0.0) << "empty histogram";
+
+  // 100 samples, all in the (5, 10] bucket, true max 9.
+  snapshot.count = 100;
+  snapshot.max_us = 9;
+  snapshot.sum_us = 900;
+  snapshot.buckets[obs::histogram_bucket_index(9)] = 100;
+  EXPECT_DOUBLE_EQ(snapshot.quantile_us(0.5), 7.5);  // 5 + 5 * 50/100
+  EXPECT_DOUBLE_EQ(snapshot.quantile_us(0.9), 9.0);  // 9.5 interpolated, clamped to max
+  EXPECT_DOUBLE_EQ(snapshot.quantile_us(1.0), 9.0);
+
+  // A sample in the overflow bucket reports the exact max.
+  obs::HistogramSnapshot overflow;
+  overflow.count = 1;
+  overflow.max_us = 250'000'000;
+  overflow.buckets[obs::kHistogramBoundaryCount] = 1;
+  EXPECT_DOUBLE_EQ(overflow.quantile_us(0.5), 250'000'000.0);
+}
+
+TEST(TimingRegistry, RecordsMergeAcrossThreadsAndSurviveExit) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with BBNG_OBS=OFF";
+  const obs::HistogramId id = obs::register_histogram("test.hist.merge");
+  EXPECT_EQ(obs::register_histogram("test.hist.merge"), id) << "interning is idempotent";
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([id, t] {
+      for (int i = 0; i < 100; ++i) obs::record_us(id, 1000);
+      if (t == 0) obs::record_us(id, 7'000'000);  // one outlier pins the max
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // The threads exited: their shards must have folded into retained totals.
+  const obs::HistogramSnapshot merged = find_histogram("test.hist.merge");
+  EXPECT_EQ(merged.count, 401u);
+  EXPECT_EQ(merged.sum_us, 400u * 1000 + 7'000'000);
+  EXPECT_EQ(merged.max_us, 7'000'000u);
+  EXPECT_EQ(merged.buckets[obs::histogram_bucket_index(1000)], 400u);
+  EXPECT_EQ(merged.buckets[obs::histogram_bucket_index(7'000'000)], 1u);
+
+  std::string previous;
+  for (const obs::HistogramSnapshot& hist : obs::histogram_snapshot()) {
+    EXPECT_LT(previous, hist.name) << "snapshot must be name-sorted";
+    previous = hist.name;
+  }
+}
+
+TEST(TimingRegistry, KillSwitchStopsRecording) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with BBNG_OBS=OFF";
+  const obs::HistogramId id = obs::register_histogram("test.hist.kill_switch");
+  obs::set_enabled(false);
+  obs::record_us(id, 5);
+  obs::set_enabled(true);
+  EXPECT_EQ(find_histogram("test.hist.kill_switch").count, 0u);
+  obs::record_us(id, 5);
+  EXPECT_EQ(find_histogram("test.hist.kill_switch").count, 1u);
+}
+
+TEST(Gauges, TrackLastMinMaxAndSampleCount) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with BBNG_OBS=OFF";
+  const obs::GaugeId id = obs::register_gauge("test.gauge.basic");
+  EXPECT_EQ(obs::register_gauge("test.gauge.basic"), id);
+  EXPECT_EQ(find_gauge("test.gauge.basic").samples, 0u)
+      << "registration alone is observable with zero samples";
+  obs::gauge_set(id, 5.0);
+  obs::gauge_set(id, 2.0);
+  obs::gauge_set(id, 9.0);
+  const obs::GaugeSnapshot gauge = find_gauge("test.gauge.basic");
+  EXPECT_DOUBLE_EQ(gauge.last, 9.0);
+  EXPECT_DOUBLE_EQ(gauge.min, 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max, 9.0);
+  EXPECT_EQ(gauge.samples, 3u);
+}
+
+TEST(Gauges, SamplerRecordsMemoryAndRates) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with BBNG_OBS=OFF";
+  const std::uint64_t before = find_gauge("mem.vm_rss_kb").samples;
+  {
+    obs::GaugeSampler sampler(0.01);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }  // destructor stops (idempotent) and takes the final sample
+  const obs::GaugeSnapshot rss = find_gauge("mem.vm_rss_kb");
+  EXPECT_GE(rss.samples, before + 2u) << "baseline + at least one tick";
+  EXPECT_GT(rss.last, 0.0);
+  EXPECT_GT(find_gauge("mem.vm_hwm_kb").last, 0.0);
+  EXPECT_GE(find_gauge("mem.vm_hwm_kb").last, rss.last)
+      << "the high-water mark bounds current RSS";
+  EXPECT_GE(find_gauge("rate.solver.solves_per_sec").samples, 1u);
+  // The sampler reads the same /proc parser the sidecar uses.
+  EXPECT_GT(peak_rss_kb(), 0u);
+  EXPECT_GT(current_rss_kb(), 0u);
+  EXPECT_GE(peak_rss_kb(), current_rss_kb());
+}
+
+TEST(ScopedTimer, RecordsIntoTheHistogramAndOpensASpan) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with BBNG_OBS=OFF";
+  const obs::HistogramId id = obs::register_histogram("test.hist.scoped");
+  obs::trace::begin();
+  {
+    obs::ScopedTimer timer(id, "test.scoped.span");
+    timer.arg("label", std::string_view{"value"});
+    timer.arg("number", std::uint64_t{3});
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    obs::ScopedTimer histogram_only(id);  // no span name → no trace event
+  }
+  const std::string json = obs::trace::end_json();
+  EXPECT_NE(json.find("test.scoped.span"), std::string::npos);
+  EXPECT_EQ(obs::validate_trace_json(parse_json(json)), 1u)
+      << "the span-less timer must not emit a trace event";
+
+  const obs::HistogramSnapshot hist = find_histogram("test.hist.scoped");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_GE(hist.max_us, 2000u) << "the 2 ms sleep must be visible";
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition. The parser below accepts the subset of the
+// format we emit: `# TYPE name kind` comments and `name[{labels}] value`
+// samples. It checks what a real scraper would reject.
+
+struct PromDoc {
+  std::map<std::string, std::string> types;                // family → kind
+  std::vector<std::pair<std::string, std::string>> samples;  // name{labels} → value
+};
+
+bool prom_name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!legal) return false;
+  }
+  return !(name[0] >= '0' && name[0] <= '9');
+}
+
+PromDoc parse_prometheus(const std::string& text, std::vector<std::string>& errors) {
+  PromDoc doc;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(stream, line)) {
+    ++number;
+    const std::string where = "line " + std::to_string(number) + ": " + line;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, keyword, name, kind;
+      fields >> hash >> keyword;
+      if (keyword != "TYPE") continue;  // free-form comment
+      fields >> name >> kind;
+      if (!prom_name_ok(name)) errors.push_back("bad TYPE name: " + where);
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        errors.push_back("bad TYPE kind: " + where);
+      }
+      if (doc.types.count(name) != 0) errors.push_back("duplicate TYPE: " + where);
+      doc.types[name] = kind;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      errors.push_back("sample without value: " + where);
+      continue;
+    }
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::string labels;
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') {
+        errors.push_back("unterminated label set: " + where);
+        continue;
+      }
+      labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    if (!prom_name_ok(name)) errors.push_back("bad sample name: " + where);
+    char* end = nullptr;
+    static_cast<void>(std::strtod(value.c_str(), &end));
+    if (end == value.c_str() || *end != '\0') errors.push_back("bad value: " + where);
+    doc.samples.emplace_back(name, labels);
+  }
+  return doc;
+}
+
+TEST(Exposition, EmitsParsableBbngPrefixedPrometheusText) {
+  std::ostringstream os;
+  if (obs::kCompiledIn) {
+    const obs::HistogramId hist = obs::register_histogram("test.expo.latency");
+    obs::record_us(hist, 3);
+    obs::record_us(hist, 40);
+    obs::record_us(hist, 300'000'000);  // overflow bucket
+    const obs::GaugeId gauge = obs::register_gauge("test.expo.gauge");
+    obs::gauge_set(gauge, 1.5);
+    obs::add(obs::register_counter("test.expo.count"), 7);
+  }
+  obs::write_exposition(os);
+  const std::string text = os.str();
+
+  std::vector<std::string> errors;
+  const PromDoc doc = parse_prometheus(text, errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  for (const auto& [name, labels] : doc.samples) {
+    EXPECT_EQ(name.rfind("bbng_", 0), 0u) << name;
+  }
+  for (const auto& [name, kind] : doc.types) {
+    if (kind == "counter") {
+      EXPECT_TRUE(name.size() > 6 && name.rfind("_total") == name.size() - 6) << name;
+    }
+  }
+
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(doc.samples.empty()) << "OFF build emits a comment-only document";
+    EXPECT_NE(text.find("BBNG_OBS=OFF"), std::string::npos);
+    return;
+  }
+
+  // The dotted names arrived snake_cased with the kind-specific suffixes.
+  EXPECT_EQ(doc.types.at("bbng_test_expo_count_total"), "counter");
+  EXPECT_EQ(doc.types.at("bbng_test_expo_gauge"), "gauge");
+  EXPECT_EQ(doc.types.at("bbng_test_expo_latency_seconds"), "histogram");
+
+  // Histogram contract: cumulative le-buckets ending at +Inf == _count.
+  std::uint64_t previous = 0;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  bool saw_inf = false;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("bbng_test_expo_latency_seconds_bucket{le=\"", 0) == 0) {
+      const std::uint64_t value = std::strtoull(line.substr(line.rfind(' ')).c_str(), nullptr, 10);
+      EXPECT_GE(value, previous) << "buckets must be cumulative: " << line;
+      previous = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        inf_value = value;
+      }
+    }
+    if (line.rfind("bbng_test_expo_latency_seconds_count ", 0) == 0) {
+      count_value = std::strtoull(line.substr(line.rfind(' ')).c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_value, count_value);
+  EXPECT_EQ(count_value, 3u);
+}
+
+TEST(Exposition, FileWriterIsAtomicAndReparsable) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "bbng_expo_test.prom").string();
+  obs::write_exposition_file(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<std::string> errors;
+  static_cast<void>(parse_prometheus(buffer.str(), errors));
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << "tmp must be renamed away";
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace bbng

@@ -17,12 +17,17 @@
 // manifest; the completed artifact is byte-identical to an uninterrupted
 // run at any thread count. `--halt-after N` simulates a kill after N
 // committed jobs (used by CI to exercise the resume path). `--trace <file>`
-// writes a Perfetto-loadable Chrome-trace of the run; `--no-obs` drops the
-// per-job `obs` counter blocks, reproducing pre-observability artifact
-// bytes. `report` re-reads a finished artifact and prints per-scenario
-// per-counter work breakdowns from those blocks.
+// writes a Perfetto-loadable Chrome-trace of the run; `--metrics-out <file>`
+// keeps a Prometheus text exposition fresh (atomic rewrite per commit
+// window) for scrapers while the run is live; `--no-obs` drops the per-job
+// `obs` counter blocks, reproducing pre-observability artifact bytes.
+// `report` re-reads a finished artifact and prints per-scenario per-counter
+// work breakdowns from those blocks, plus latency percentiles and host
+// gauges from the run's `.obs_host.json` sidecar when present.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -74,6 +79,7 @@ void print_report(const char* verb, const bbng::RunReport& report,
     if (config.write_summary) {
       std::cout << "summary:  " << bbng::summary_path_for(config.output_path) << "\n";
     }
+    std::cout << "host:     " << bbng::obs_host_path_for(config.output_path) << "\n";
   } else {
     std::cout << "halted before completion; continue with: bbng_engine resume --spec <spec> "
               << "--output " << config.output_path << "\n";
@@ -99,6 +105,9 @@ int run_or_resume(bool resume, int argc, const char** argv) {
       "no-obs", "drop per-job obs counter blocks (pre-observability artifact bytes)");
   const auto trace_path = cli.add_string(
       "trace", "", "write a Perfetto-loadable Chrome-trace of the run to this file");
+  const auto metrics_out = cli.add_string(
+      "metrics-out", "",
+      "refresh this file with Prometheus text exposition after every commit window");
   cli.parse(argc, argv);
 
   if (spec_path->empty() || output->empty()) {
@@ -127,6 +136,7 @@ int run_or_resume(bool resume, int argc, const char** argv) {
   config.write_summary = !*no_summary;
   config.progress = !*quiet;
   config.obs = !*no_obs;
+  config.metrics_out = *metrics_out;
   // --no-obs also flips the runtime registry switch so library hot paths
   // pay only a relaxed load, not just the record suffix being dropped.
   if (*no_obs) bbng::obs::set_enabled(false);
@@ -145,14 +155,68 @@ int run_or_resume(bool resume, int argc, const char** argv) {
     bbng::obs::trace::write_file(*trace_path);
     std::cout << "trace:    " << *trace_path << "\n";
   }
+  if (!metrics_out->empty() && report.completed) {
+    std::cout << "metrics:  " << *metrics_out << "\n";
+  }
   print_report(resume ? "resume" : "run", report, config);
   return 0;
+}
+
+/// Merge the `<artifact>.obs_host.json` sidecar, when one exists, into the
+/// report: a latency table (histogram percentiles) and a gauge table after
+/// the counter table. Tables are blank-line separated so CSV consumers can
+/// split on the first empty line (scripts/check_obs_baseline.py does).
+void print_host_telemetry(const std::string& artifact, bool csv) {
+  const std::string sidecar_path = bbng::obs_host_path_for(artifact);
+  std::ifstream in(sidecar_path, std::ios::binary);
+  if (!in) return;  // pre-telemetry artifact; counters alone are the report
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const bbng::JsonValue root = bbng::parse_json(buffer.str());
+
+  const bbng::JsonValue& histograms = root.at("histograms");
+  if (!histograms.members().empty()) {
+    bbng::Table latency({"phase", "count", "sum_us", "max_us", "p50_us", "p90_us", "p99_us"});
+    latency.set_title("latency histograms: " + sidecar_path);
+    for (const auto& [name, hist] : histograms.members()) {
+      latency.new_row()
+          .add(name)
+          .add(hist.at("count").as_uint())
+          .add(hist.at("sum_us").as_uint())
+          .add(hist.at("max_us").as_uint())
+          .add(hist.at("p50_us").as_double(), 1)
+          .add(hist.at("p90_us").as_double(), 1)
+          .add(hist.at("p99_us").as_double(), 1);
+    }
+    std::cout << "\n";
+    latency.print(std::cout, csv);
+  }
+
+  const bbng::JsonValue& gauges = root.at("gauges");
+  if (!gauges.members().empty()) {
+    bbng::Table gauge_table({"gauge", "last", "min", "max", "samples"});
+    gauge_table.set_title("host gauges: peak_rss_kb " +
+                          std::to_string(root.at("host").at("peak_rss_kb").as_uint()));
+    for (const auto& [name, gauge] : gauges.members()) {
+      gauge_table.new_row()
+          .add(name)
+          .add(gauge.at("last").as_double())
+          .add(gauge.at("min").as_double())
+          .add(gauge.at("max").as_double())
+          .add(gauge.at("samples").as_uint());
+    }
+    std::cout << "\n";
+    gauge_table.print(std::cout, csv);
+  }
 }
 
 /// `report` — aggregate the per-job `obs` counter blocks of a finished
 /// artifact into per-scenario per-counter totals and per-job means. Fails
 /// (exit 1) when the artifact carries no obs blocks at all, so CI notices a
-/// run that silently lost its telemetry.
+/// run that silently lost its telemetry. When the run also left a
+/// `.obs_host.json` sidecar, its latency percentiles and gauges print as
+/// additional tables — one command answers both "how much work" and "how
+/// long did it take".
 int report_obs(int argc, const char** argv) {
   bbng::Cli cli("bbng_engine report",
                 "per-scenario counter breakdown of an artifact's obs blocks");
@@ -236,6 +300,7 @@ int report_obs(int argc, const char** argv) {
         .add(mean);
   }
   table.print(std::cout, *csv);
+  print_host_telemetry(*artifact, *csv);
   return 0;
 }
 
